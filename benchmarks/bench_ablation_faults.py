@@ -1,0 +1,51 @@
+"""Ablation: fault-rate sensitivity — device spread -> error rate -> quality."""
+
+import numpy as np
+from conftest import emit
+
+from repro.analysis.tables import render_table
+from repro.apps import run_app
+from repro.reram.device import DeviceParams
+from repro.reram.faults import DEFAULT_FAULT_RATES, derive_fault_rates
+
+
+def _derivation_sweep():
+    out = {}
+    for hrs_sigma in (0.35, 0.45, 0.55, 0.65):
+        params = DeviceParams(hrs_sigma=hrs_sigma)
+        rates = derive_fault_rates(params, trials_per_case=8_192, seed=1)
+        out[hrs_sigma] = rates
+    return out
+
+
+def test_device_spread_to_fault_rate(benchmark):
+    result = benchmark.pedantic(_derivation_sweep, rounds=1, iterations=1)
+    rows = [[s, r.and2, r.or2, r.xor2, r.maj3]
+            for s, r in result.items()]
+    emit("Ablation -- HRS spread vs scouting-logic error probability",
+         render_table(["HRS sigma", "AND", "OR", "XOR", "MAJ3"], rows,
+                      precision=4))
+    sigmas = sorted(result)
+    assert result[sigmas[-1]].mean() > result[sigmas[0]].mean()
+
+
+def _quality_vs_rate():
+    out = {}
+    for factor in (1, 4, 16):
+        rates = DEFAULT_FAULT_RATES.scaled(factor)
+        r = run_app("compositing", "sc", length=128, faulty=True,
+                    fault_rates=rates, size=32, seed=0)
+        out[factor] = (r.ssim_pct, r.psnr_db)
+    return out
+
+
+def test_quality_degrades_gracefully(benchmark):
+    result = benchmark.pedantic(_quality_vs_rate, rounds=1, iterations=1)
+    rows = [[f, s, p] for f, (s, p) in result.items()]
+    emit("Ablation -- SC compositing quality vs fault-rate scaling "
+         "(graceful degradation)",
+         render_table(["rate x", "SSIM (%)", "PSNR (dB)"], rows,
+                      precision=1))
+    # SC degrades smoothly: even 16x the derived rate keeps a usable image.
+    assert result[16][0] > 40
+    assert result[1][0] > result[16][0]

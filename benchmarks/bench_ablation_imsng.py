@@ -1,0 +1,69 @@
+"""Ablation: IMSNG-naive vs IMSNG-opt, and segment size M sensitivity."""
+
+import numpy as np
+import pytest
+from conftest import emit
+
+from repro.analysis.tables import render_table
+from repro.core.accuracy import sng_mse
+from repro.core.sng import SegmentSng
+from repro.imsc.cost import imsng_conversion_cost
+from repro.imsc.engine import InMemorySCEngine
+from repro.reram.faults import DEFAULT_FAULT_RATES
+from repro.reram.trng import ReRamTrng
+
+
+def _variant_grid():
+    out = {}
+    for mode in ("naive", "opt"):
+        for m in (5, 6, 7, 8, 9):
+            led = imsng_conversion_cost(m, mode)
+            out[(mode, m)] = (led.latency_ns, led.energy_nj)
+    return out
+
+
+def test_imsng_design_space(benchmark):
+    result = benchmark.pedantic(_variant_grid, rounds=3, iterations=1)
+    rows = [[mode, m, lat, en] for (mode, m), (lat, en) in result.items()]
+    emit("Ablation -- IMSNG cost across variants and segment sizes",
+         render_table(["mode", "M", "latency (ns)", "energy (nJ)"], rows))
+    # The latch optimisation dominates at every M.
+    for m in (5, 6, 7, 8, 9):
+        assert result[("opt", m)][0] < result[("naive", m)][0] / 3
+        assert result[("opt", m)][1] < result[("naive", m)][1] / 2
+
+
+def _fault_sensitivity():
+    """Under faults, opt has fewer sensed fault sites than naive."""
+    rates = DEFAULT_FAULT_RATES.scaled(10)
+    errs = {}
+    for mode in ("naive", "opt"):
+        e = InMemorySCEngine(mode=mode, fault_rates=rates, rng=0)
+        s = e.generate(np.full(600, 0.5), 256)
+        errs[mode] = float(np.mean(np.abs(s.value() - 0.5)))
+    return errs
+
+
+def test_imsng_fault_sites(benchmark):
+    errs = benchmark.pedantic(_fault_sensitivity, rounds=1, iterations=1)
+    emit("Ablation -- conversion error under 10x fault rates",
+         render_table(["mode", "mean |error|"],
+                      [[k, v] for k, v in errs.items()], precision=4))
+    assert errs["opt"] < errs["naive"]
+
+
+def _segment_accuracy():
+    out = {}
+    for m in (5, 7, 9):
+        sng = SegmentSng(ReRamTrng(rng=0), segment_bits=m)
+        out[m] = sng_mse(sng, 512, samples=4_000, seed=m)
+    return out
+
+
+def test_segment_size_accuracy(benchmark):
+    result = benchmark.pedantic(_segment_accuracy, rounds=1, iterations=1)
+    emit("Ablation -- Table I's M axis at N=512 (quantisation floor)",
+         render_table(["M", "MSE (%)"], [[m, v] for m, v in result.items()],
+                      precision=4))
+    # Larger segments reduce the quantisation floor.
+    assert result[9] < result[5]

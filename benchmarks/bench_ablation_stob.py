@@ -1,0 +1,58 @@
+"""Ablation: S-to-B conversion — ideal counter vs reference-column + ADC."""
+
+import numpy as np
+from conftest import emit
+
+from repro.analysis.tables import render_table
+from repro.core.bitstream import Bitstream
+from repro.core.conversion import CounterConverter
+from repro.imsc.stob import InMemoryStoB
+from repro.reram.adc import AdcParams
+
+
+def _compare_converters():
+    gen = np.random.default_rng(0)
+    p = gen.random(2_000)
+    streams = Bitstream.bernoulli(p, 256, rng=1)
+    truth = streams.value()
+    out = {}
+    out["CMOS counter (exact)"] = float(np.mean(
+        (CounterConverter().convert(streams) - truth) ** 2)) * 100
+    out["ref column + ADC"] = float(np.mean(
+        (InMemoryStoB(rng=2).convert(streams) - truth) ** 2)) * 100
+    out["ref column + ADC (ideal cells)"] = float(np.mean(
+        (InMemoryStoB(ideal_cells=True, rng=2).convert(streams) - truth) ** 2
+    )) * 100
+    return out
+
+
+def test_stob_accuracy(benchmark):
+    result = benchmark.pedantic(_compare_converters, rounds=1, iterations=1)
+    emit("Ablation -- S-to-B conversion error (MSE%, N=256)",
+         render_table(["converter", "MSE (%)"],
+                      [[k, v] for k, v in result.items()], precision=5))
+    # The counter is exact; the analog path adds bounded error.
+    assert result["CMOS counter (exact)"] == 0.0
+    assert result["ref column + ADC"] < 0.3
+    assert (result["ref column + ADC (ideal cells)"]
+            <= result["ref column + ADC"] + 1e-9)
+
+
+def _adc_resolution_sweep():
+    gen = np.random.default_rng(3)
+    p = gen.random(1_000)
+    streams = Bitstream.bernoulli(p, 256, rng=4)
+    truth = streams.value()
+    out = {}
+    for bits in (4, 6, 8, 10):
+        stob = InMemoryStoB(adc_params=AdcParams(bits=bits), rng=5)
+        out[bits] = float(np.mean((stob.convert(streams) - truth) ** 2)) * 100
+    return out
+
+
+def test_adc_resolution(benchmark):
+    result = benchmark.pedantic(_adc_resolution_sweep, rounds=1, iterations=1)
+    emit("Ablation -- ADC resolution vs recovery error (MSE%, N=256)",
+         render_table(["ADC bits", "MSE (%)"],
+                      [[b, v] for b, v in result.items()], precision=5))
+    assert result[4] > result[8]

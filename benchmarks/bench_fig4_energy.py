@@ -1,0 +1,34 @@
+"""Fig. 4: normalized energy savings of the SC designs vs binary CIM."""
+
+from conftest import emit
+
+from repro.analysis.experiments import fig4_energy, summarize_figures, fig5_throughput
+from repro.analysis.tables import render_table
+
+LENGTHS = (32, 64, 128, 256)
+
+
+def test_fig4(benchmark):
+    result = benchmark.pedantic(fig4_energy, rounds=3, iterations=1)
+    rows = []
+    for app, designs in result.items():
+        for design, series in designs.items():
+            rows.append([app, design] + [series[n] for n in LENGTHS])
+    emit("Fig. 4 -- normalized energy savings vs binary CIM (bars > 1 save "
+         "energy)",
+         render_table(["application", "design"] + [f"N={n}" for n in LENGTHS],
+                      rows, precision=2))
+    summary = summarize_figures(result, fig5_throughput())
+    emit("Headline energy factor",
+         f"ReRAM SC vs binary CIM (geomean): "
+         f"{summary['reram_energy_savings_vs_bincim']:.2f}x "
+         f"(paper: 2.8x)\n"
+         f"ReRAM SC vs CMOS SC (geomean):    "
+         f"{summary['reram_vs_cmos_energy']:.2f}x (paper: 1.15x)")
+    # Shape guards.
+    for app in result:
+        series = result[app]["ReRAM SC"]
+        assert series[32] > series[256]            # savings shrink with N
+        assert result[app]["ReRAM SC"][32] > result[app]["CMOS SC"][32]
+    assert (result["compositing"]["CMOS SC"][256]
+            > result["compositing"]["ReRAM SC"][256])   # crossover at 256

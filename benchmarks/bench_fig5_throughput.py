@@ -1,0 +1,36 @@
+"""Fig. 5: normalized throughput of the SC designs vs binary CIM."""
+
+from conftest import emit
+
+from repro.analysis.experiments import (
+    fig4_energy,
+    fig5_throughput,
+    summarize_figures,
+)
+from repro.analysis.tables import render_table
+
+LENGTHS = (32, 64, 128, 256)
+
+
+def test_fig5(benchmark):
+    result = benchmark.pedantic(fig5_throughput, rounds=3, iterations=1)
+    rows = []
+    for app, designs in result.items():
+        for design, series in designs.items():
+            rows.append([app, design] + [series[n] for n in LENGTHS])
+    emit("Fig. 5 -- normalized throughput vs binary CIM (bars > 1 are "
+         "faster)",
+         render_table(["application", "design"] + [f"N={n}" for n in LENGTHS],
+                      rows, precision=2))
+    summary = summarize_figures(fig4_energy(), result)
+    emit("Headline throughput factor",
+         f"ReRAM SC vs binary CIM (geomean): "
+         f"{summary['reram_throughput_vs_bincim']:.2f}x (paper: 2.16x)\n"
+         f"ReRAM SC vs CMOS SC (geomean):    "
+         f"{summary['reram_vs_cmos_throughput']:.2f}x (paper: 1.39x)")
+    # Shape guards: MAJ/MUX apps accelerate; CORDIV matting does not.
+    for app in ("compositing", "interpolation"):
+        for v in result[app]["ReRAM SC"].values():
+            assert v > 1.0
+    assert result["matting"]["ReRAM SC"][256] < 1.0
+    assert 1.0 < summary["reram_throughput_vs_bincim"] < 5.0

@@ -1,0 +1,27 @@
+"""Table I: MSE(%) of SBS generation across RNG sources and lengths."""
+
+from conftest import emit
+
+from repro.analysis.experiments import table1_sng_mse
+from repro.analysis.tables import dict_grid_to_rows, render_table
+
+LENGTHS = (32, 64, 128, 256, 512)
+
+
+def _run():
+    return table1_sng_mse(lengths=LENGTHS, samples=8_000, seed=0)
+
+
+def test_table1(benchmark):
+    result = benchmark.pedantic(_run, rounds=1, iterations=1)
+    rows = dict_grid_to_rows(
+        {k: {str(n): v for n, v in row.items()} for k, row in result.items()},
+        [str(n) for n in LENGTHS])
+    emit("Table I -- MSE(%) of SBS generation (paper Table I)",
+         render_table(["RNG source"] + [f"N={n}" for n in LENGTHS], rows,
+                      precision=4))
+    # Reproduction guards: the orderings the paper's table shows.
+    assert result["QRNG (Sobol)"][512] < 1e-3
+    assert result["PRNG (LFSR)"][32] > result["Software"][32]
+    for row in result.values():
+        assert row[512] < row[32]

@@ -1,0 +1,30 @@
+"""Table II: MSE(%) of SC arithmetic operations per RNG source (M = 8)."""
+
+from conftest import emit
+
+from repro.analysis.experiments import TABLE2_OPS, table2_ops_mse
+from repro.analysis.tables import render_table
+
+LENGTHS = (32, 64, 128, 256, 512)
+SOURCES = ("imsng", "software", "lfsr", "sobol")
+
+
+def _run():
+    return table2_ops_mse(lengths=LENGTHS, samples=2_000, seed=0)
+
+
+def test_table2(benchmark):
+    result = benchmark.pedantic(_run, rounds=1, iterations=1)
+    rows = []
+    for op in TABLE2_OPS:
+        for src in SOURCES:
+            rows.append([op, src] + [result[op][src][n] for n in LENGTHS])
+    emit("Table II -- MSE(%) of SC operations (paper Table II)",
+         render_table(["operation", "source"] + [f"N={n}" for n in LENGTHS],
+                      rows, precision=4))
+    # Reproduction guards.
+    assert result["division"]["lfsr"][512] > result["division"]["sobol"][512]
+    assert (result["multiplication"]["software"][512]
+            < result["multiplication"]["software"][32])
+    # Approximate addition's OR error floor does not vanish with N.
+    assert result["approx_addition"]["software"][512] > 0.3

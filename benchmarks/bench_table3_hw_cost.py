@@ -1,0 +1,34 @@
+"""Table III: hardware cost of the CMOS and ReRAM SC designs (N = 256)."""
+
+import pytest
+from conftest import emit
+
+from repro.analysis.experiments import table3_hw_cost, imsng_variants
+from repro.analysis.tables import render_table
+
+
+def test_table3(benchmark):
+    result = benchmark.pedantic(table3_hw_cost, rounds=3, iterations=1)
+    rows = []
+    for design, ops in result.items():
+        for op, cost in ops.items():
+            rows.append([design, op, cost["latency_ns"], cost["energy_nj"]])
+    emit("Table III -- hardware cost (paper Table III)",
+         render_table(["design", "operation", "latency (ns)", "energy (nJ)"],
+                      rows))
+    # Paper anchors.
+    lfsr = result["CMOS (LFSR)"]
+    assert lfsr["Multiplication"]["latency_ns"] == pytest.approx(122.88)
+    reram = result["ReRAM (IMSNG-opt)"]
+    assert reram["Multiplication"]["latency_ns"] == pytest.approx(80.8,
+                                                                  rel=0.01)
+    assert reram["Division"]["latency_ns"] == pytest.approx(12544.0, rel=0.01)
+
+
+def test_imsng_conversion_anchor(benchmark):
+    result = benchmark.pedantic(imsng_variants, rounds=5, iterations=1)
+    rows = [[k, v["latency_ns"], v["energy_nj"]] for k, v in result.items()]
+    emit("Sec. IV-B -- IMSNG conversion cost (paper: 395.4 ns / 10.23 nJ "
+         "naive, 78.2 ns / 3.42 nJ opt)",
+         render_table(["variant", "latency (ns)", "energy (nJ)"], rows))
+    assert result["IMSNG-opt"]["latency_ns"] == pytest.approx(78.2, rel=0.01)

@@ -1,0 +1,37 @@
+"""Table IV: SSIM/PSNR of the applications, fault-free vs under CIM faults."""
+
+from conftest import emit
+
+from repro.analysis.experiments import (
+    quality_drop_summary,
+    table4_quality,
+)
+from repro.analysis.tables import render_table
+
+LENGTHS = (32, 64, 128, 256)
+APPS = ("compositing", "interpolation", "matting")
+
+
+def _run():
+    return table4_quality(lengths=LENGTHS, runs=2, size=32, seed=0)
+
+
+def test_table4(benchmark):
+    result = benchmark.pedantic(_run, rounds=1, iterations=1)
+    rows = []
+    for label, apps in result.items():
+        rows.append([label] + [f"{apps[a][0]:.1f}/{apps[a][1]:.1f}"
+                               for a in APPS])
+    emit("Table IV -- SSIM(%)/PSNR(dB), ideal vs faulty (paper Table IV)",
+         render_table(["design"] + list(APPS), rows))
+    drops = quality_drop_summary(result)
+    emit("Sec. IV-C -- average SSIM drop under faults "
+         "(paper: ~5% for SC vs ~47% for binary CIM)",
+         f"SC:         {drops['sc_avg_ssim_drop_pct']:.1f}%\n"
+         f"Binary CIM: {drops['bincim_avg_ssim_drop_pct']:.1f}%")
+    # The paper's headline robustness claim.
+    assert drops["sc_avg_ssim_drop_pct"] < 15
+    assert drops["bincim_avg_ssim_drop_pct"] > 25
+    # Matting under faults: binary CIM collapses, SC survives.
+    assert result["Binary CIM [faulty]"]["matting"][0] < 70
+    assert result["SC N=256 [faulty]"]["matting"][0] > 85

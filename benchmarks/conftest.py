@@ -1,0 +1,36 @@
+"""Benchmark-suite configuration.
+
+Every benchmark regenerates one table or figure of the paper and prints it,
+so ``pytest benchmarks/ --benchmark-only -s`` doubles as the reproduction
+report.  Sample counts are chosen to finish in minutes; the experiment
+runners accept larger counts for paper-grade statistics.
+"""
+
+import pathlib
+import sys
+
+import pytest
+
+REPORT_PATH = pathlib.Path(__file__).resolve().parent.parent / \
+    "reproduction_report.txt"
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _fresh_report():
+    """Start every benchmark session with an empty reproduction report."""
+    REPORT_PATH.write_text("")
+    yield
+
+
+def emit(title: str, body: str) -> None:
+    """Print a reproduction artefact and append it to the report file.
+
+    Pytest captures stdout at the file-descriptor level, so the printed
+    copy shows with ``-s``; the file copy (``reproduction_report.txt`` at
+    the repo root) is always written.
+    """
+    block = ("\n" + "=" * 72 + "\n" + title + "\n" + "=" * 72 + "\n"
+             + body + "\n")
+    print(block, end="")
+    with REPORT_PATH.open("a") as fh:
+        fh.write(block)

@@ -1,0 +1,83 @@
+"""Design-space exploration with the cost models and the NVMain-style
+simulator.
+
+Walks the hardware levers the paper discusses: IMSNG-naive vs IMSNG-opt,
+stream length, bank-level pipelining, and the CMOS/binary baselines.
+
+Run:  python examples/design_space.py
+"""
+
+from repro.analysis.experiments import (
+    bincim_app_cost,
+    cmos_app_cost,
+    reram_app_cost,
+)
+from repro.analysis.tables import render_table
+from repro.cmos import CmosScDesign
+from repro.energy import MemorySystem
+from repro.energy.traces import pipelined_flow_trace
+from repro.imsc import ReRamScDesign, imsng_conversion_cost
+
+
+def imsng_variants() -> None:
+    rows = []
+    for mode in ("naive", "opt"):
+        led = imsng_conversion_cost(8, mode)
+        rows.append([f"IMSNG-{mode}", f"{led.latency_ns:.1f}",
+                     f"{led.energy_nj:.2f}"])
+    print(render_table(["variant", "latency (ns)", "energy (nJ)"], rows,
+                       title="IMSNG conversion (paper: 395.4/10.23 naive, "
+                             "78.2/3.42 opt)"))
+
+
+def op_costs() -> None:
+    rows = []
+    reram = ReRamScDesign().table_rows()
+    for rng in ("lfsr", "sobol"):
+        cmos = CmosScDesign(rng).table_rows()
+        for op, cost in cmos.items():
+            rows.append([f"CMOS ({rng})", op, f"{cost['latency_ns']:.1f}",
+                         f"{cost['energy_nj']:.3f}"])
+    for op, cost in reram.items():
+        rows.append(["ReRAM (opt)", op, f"{cost['latency_ns']:.1f}",
+                     f"{cost['energy_nj']:.3f}"])
+    print(render_table(["design", "op", "latency (ns)", "energy (nJ)"], rows,
+                       title="\nPer-operation hardware cost (Table III)"))
+
+
+def banking() -> None:
+    rows = []
+    for banks in (1, 2, 4, 8):
+        trace = pipelined_flow_trace(n_operands=3, op="mul", n_banks=banks)
+        res = MemorySystem(banks).simulate(trace)
+        util = sum(res.bank_busy_s.values()) / (banks * res.makespan_s)
+        rows.append([banks, f"{res.makespan_ns:.1f}",
+                     f"{res.energy_nj:.2f}", f"{util:.0%}"])
+    print(render_table(["banks", "makespan (ns)", "energy (nJ)", "avg util"],
+                       rows,
+                       title="\nPipelining 3 conversions + multiply + S-to-B "
+                             "across banks"))
+
+
+def per_pixel() -> None:
+    rows = []
+    for app in ("compositing", "interpolation", "matting"):
+        bin_led = bincim_app_cost(app)
+        rows.append([app, "binary CIM", f"{bin_led.latency_ns:.1f}",
+                     f"{bin_led.energy_nj:.2f}"])
+        for n in (32, 256):
+            r = reram_app_cost(app, n)
+            rows.append([app, f"ReRAM SC N={n}", f"{r.latency_ns:.1f}",
+                         f"{r.energy_nj:.2f}"])
+        c = cmos_app_cost(app, 128)
+        rows.append([app, "CMOS SC N=128", f"{c.latency_ns:.1f}",
+                     f"{c.energy_nj:.2f}"])
+    print(render_table(["application", "design", "ns/pixel", "nJ/pixel"],
+                       rows, title="\nPer-pixel flow costs (Figs. 4-5 inputs)"))
+
+
+if __name__ == "__main__":
+    imsng_variants()
+    op_costs()
+    banking()
+    per_pixel()

@@ -1,0 +1,31 @@
+"""Experiment runners regenerating every table and figure of the paper."""
+
+from .tables import dict_grid_to_rows, format_value, render_table
+from .experiments import (
+    TABLE1_LENGTHS,
+    TABLE4_LENGTHS,
+    bincim_app_cost,
+    cmos_app_cost,
+    fig4_energy,
+    fig5_throughput,
+    imsng_variants,
+    quality_drop_summary,
+    reram_app_cost,
+    summarize_figures,
+    table1_sng_mse,
+    table2_ops_mse,
+    table3_hw_cost,
+    table4_quality,
+    write_based_sng_comparison,
+)
+from .sweep import grid, run_sweep
+
+__all__ = [
+    "dict_grid_to_rows", "format_value", "render_table",
+    "TABLE1_LENGTHS", "TABLE4_LENGTHS",
+    "bincim_app_cost", "cmos_app_cost", "fig4_energy", "fig5_throughput",
+    "imsng_variants", "quality_drop_summary", "reram_app_cost",
+    "summarize_figures", "table1_sng_mse", "table2_ops_mse",
+    "table3_hw_cost", "table4_quality", "write_based_sng_comparison",
+    "grid", "run_sweep",
+]

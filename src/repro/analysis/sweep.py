@@ -1,0 +1,37 @@
+"""Parameter-sweep helpers for sensitivity studies and ablations."""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Sequence
+
+__all__ = ["grid", "run_sweep"]
+
+
+def grid(**axes: Sequence[Any]) -> List[Dict[str, Any]]:
+    """Cartesian product of named axes as a list of keyword dicts.
+
+    >>> grid(n=[32, 64], m=[5, 8])
+    [{'n': 32, 'm': 5}, {'n': 32, 'm': 8}, {'n': 64, 'm': 5}, {'n': 64, 'm': 8}]
+    """
+    names = list(axes)
+    out = []
+    for combo in itertools.product(*(axes[k] for k in names)):
+        out.append(dict(zip(names, combo)))
+    return out
+
+
+def run_sweep(fn: Callable[..., Any],
+              points: Iterable[Mapping[str, Any]]) -> List[Dict[str, Any]]:
+    """Evaluate ``fn(**point)`` at every grid point.
+
+    Returns a list of records ``{**point, "result": value}``; exceptions
+    propagate (a sweep that errors should fail loudly, not silently skip).
+    """
+    records: List[Dict[str, Any]] = []
+    for point in points:
+        result = fn(**point)
+        rec = dict(point)
+        rec["result"] = result
+        records.append(rec)
+    return records

@@ -1,0 +1,59 @@
+"""ASCII table rendering for experiment output.
+
+Keeps the benchmark harness presentation-free: experiment runners return
+plain data structures; these helpers turn them into the row/column layouts
+of the paper's tables.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+__all__ = ["render_table", "format_value", "dict_grid_to_rows"]
+
+Cell = Union[str, float, int, None]
+
+
+def format_value(value: Cell, precision: int = 3) -> str:
+    """Format one cell: floats get fixed or scientific notation as needed."""
+    if value is None:
+        return "-"
+    if isinstance(value, str):
+        return value
+    if isinstance(value, int):
+        return str(value)
+    v = float(value)
+    if v != 0 and abs(v) < 10 ** (-precision):
+        return f"{v:.2e}"
+    return f"{v:.{precision}f}"
+
+
+def render_table(headers: Sequence[str], rows: Iterable[Sequence[Cell]],
+                 title: Optional[str] = None, precision: int = 3) -> str:
+    """Render a list of rows as a fixed-width ASCII table."""
+    str_rows: List[List[str]] = [
+        [format_value(c, precision) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError("row length does not match header count")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def dict_grid_to_rows(grid: Dict[str, Dict[str, Cell]],
+                      col_keys: Sequence[str]) -> List[List[Cell]]:
+    """Turn ``{row_label: {col_key: value}}`` into render_table rows."""
+    rows: List[List[Cell]] = []
+    for label, cols in grid.items():
+        rows.append([label] + [cols.get(k) for k in col_keys])
+    return rows

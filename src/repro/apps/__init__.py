@@ -1,0 +1,56 @@
+"""Evaluation applications: compositing, interpolation, matting + metrics."""
+
+from .images import (
+    band_limited_noise,
+    checkerboard,
+    from_uint8,
+    gaussian_blobs,
+    gradient_image,
+    natural_scene,
+    scene_triplet,
+    soft_alpha_matte,
+    to_uint8,
+)
+from .metrics import mse, psnr, quality_pair, ssim
+from .compositing import composite_bincim, composite_float, composite_sc
+from .interpolation import (
+    neighbour_grid,
+    upscale_bincim,
+    upscale_float,
+    upscale_sc,
+)
+from .matting import (
+    matting_bincim,
+    matting_float,
+    matting_sc,
+    recomposite_quality_inputs,
+)
+from .pipeline import APPS, AppResult, BACKENDS, run_app
+from .neural import ScDenseLayer, ScDotProduct, sc_dot_product
+from .filters import (
+    contrast_stretch_float,
+    contrast_stretch_sc,
+    gamma_correct_float,
+    gamma_correct_sc,
+    mean_filter_float,
+    mean_filter_sc,
+    roberts_cross_float,
+    roberts_cross_sc,
+)
+
+__all__ = [
+    "band_limited_noise", "checkerboard", "from_uint8", "gaussian_blobs",
+    "gradient_image", "natural_scene", "scene_triplet", "soft_alpha_matte",
+    "to_uint8",
+    "mse", "psnr", "quality_pair", "ssim",
+    "composite_bincim", "composite_float", "composite_sc",
+    "neighbour_grid", "upscale_bincim", "upscale_float", "upscale_sc",
+    "matting_bincim", "matting_float", "matting_sc",
+    "recomposite_quality_inputs",
+    "APPS", "AppResult", "BACKENDS", "run_app",
+    "contrast_stretch_float", "contrast_stretch_sc",
+    "gamma_correct_float", "gamma_correct_sc",
+    "mean_filter_float", "mean_filter_sc",
+    "roberts_cross_float", "roberts_cross_sc",
+    "ScDenseLayer", "ScDotProduct", "sc_dot_product",
+]

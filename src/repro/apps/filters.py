@@ -1,0 +1,181 @@
+"""Additional SC image-processing kernels (Li et al. [5], the paper's
+motivating application class).
+
+Beyond the three evaluation applications, this module implements the
+classic SC image filters, each mapped onto the in-memory engine's ops:
+
+* **Roberts-cross edge detection** — two absolute differences (correlated
+  XOR) merged with a scaled add: the canonical SC image kernel;
+* **mean filtering** — a MUX/MAJ tree over a pixel neighbourhood;
+* **gamma correction** — Bernstein-polynomial evaluation of ``x^gamma``;
+* **contrast stretching** — saturating linear map via correlated min/max.
+
+All kernels take float images in ``[0, 1]`` and an
+:class:`~repro.imsc.engine.InMemorySCEngine`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..core.bitstream import Bitstream
+from ..core.polynomial import bernstein_eval_exact, bernstein_from_power
+from ..imsc.engine import InMemorySCEngine
+
+__all__ = [
+    "roberts_cross_float",
+    "roberts_cross_sc",
+    "mean_filter_float",
+    "mean_filter_sc",
+    "gamma_correct_float",
+    "gamma_correct_sc",
+    "contrast_stretch_float",
+    "contrast_stretch_sc",
+]
+
+
+# ---------------------------------------------------------------------------
+# Roberts cross edge detection
+# ---------------------------------------------------------------------------
+def roberts_cross_float(image: np.ndarray) -> np.ndarray:
+    """Edge magnitude ``(|p(i,j)-p(i+1,j+1)| + |p(i,j+1)-p(i+1,j)|) / 2``."""
+    img = np.asarray(image, dtype=np.float64)
+    d1 = np.abs(img[:-1, :-1] - img[1:, 1:])
+    d2 = np.abs(img[:-1, 1:] - img[1:, :-1])
+    return (d1 + d2) / 2.0
+
+
+def roberts_cross_sc(engine: InMemorySCEngine, image: np.ndarray,
+                     length: int) -> np.ndarray:
+    """SC Roberts cross: two correlated XORs + one MAJ-based scaled add."""
+    img = np.asarray(image, dtype=np.float64)
+    p00 = img[:-1, :-1].ravel()
+    p11 = img[1:, 1:].ravel()
+    p01 = img[:-1, 1:].ravel()
+    p10 = img[1:, :-1].ravel()
+    shape = (img.shape[0] - 1, img.shape[1] - 1)
+    # All four neighbourhood streams share the random rows: XOR needs
+    # correlated inputs and the shared draw keeps errors spatially smooth.
+    streams = engine.generate_correlated(np.stack([p00, p11, p01, p10]),
+                                         length)
+    s00, s11, s01, s10 = (Bitstream(streams.bits[k]) for k in range(4))
+    d1 = engine.abs_subtract(s00, s11)
+    d2 = engine.abs_subtract(s01, s10)
+    half = engine.generate_correlated(np.full(p00.size, 0.5), length)
+    out = engine.maj(d1, d2, half)
+    return engine.to_binary(out).reshape(shape)
+
+
+# ---------------------------------------------------------------------------
+# Mean filter
+# ---------------------------------------------------------------------------
+def mean_filter_float(image: np.ndarray) -> np.ndarray:
+    """2x2 box filter (valid region)."""
+    img = np.asarray(image, dtype=np.float64)
+    return (img[:-1, :-1] + img[:-1, 1:] + img[1:, :-1] + img[1:, 1:]) / 4.0
+
+
+def mean_filter_sc(engine: InMemorySCEngine, image: np.ndarray,
+                   length: int) -> np.ndarray:
+    """2x2 mean via a two-level scaled-add (MAJ) tree."""
+    img = np.asarray(image, dtype=np.float64)
+    a = img[:-1, :-1].ravel()
+    b = img[:-1, 1:].ravel()
+    c = img[1:, :-1].ravel()
+    d = img[1:, 1:].ravel()
+    shape = (img.shape[0] - 1, img.shape[1] - 1)
+    streams = engine.generate_correlated(np.stack([a, b, c, d]), length)
+    sa, sb, sc_, sd = (Bitstream(streams.bits[k]) for k in range(4))
+    half1 = engine.generate_correlated(np.full(a.size, 0.5), length)
+    half2 = engine.generate_correlated(np.full(a.size, 0.5), length)
+    half3 = engine.generate_correlated(np.full(a.size, 0.5), length)
+    lo = engine.maj(sa, sb, half1)     # (a + b) / 2
+    hi = engine.maj(sc_, sd, half2)    # (c + d) / 2
+    out = engine.maj(lo, hi, half3)    # average of averages
+    return engine.to_binary(out).reshape(shape)
+
+
+# ---------------------------------------------------------------------------
+# Gamma correction (Bernstein polynomial)
+# ---------------------------------------------------------------------------
+def _gamma_bernstein(gamma: float, degree: int = 4) -> np.ndarray:
+    """Least-squares Bernstein fit of ``x ** gamma`` on [0, 1]."""
+    xs = np.linspace(0.0, 1.0, 256)
+    target = xs ** gamma
+    # Design matrix of Bernstein basis polynomials.
+    from math import comb
+    basis = np.stack([comb(degree, k) * xs ** k * (1 - xs) ** (degree - k)
+                      for k in range(degree + 1)], axis=1)
+    coeffs, *_ = np.linalg.lstsq(basis, target, rcond=None)
+    return np.clip(coeffs, 0.0, 1.0)
+
+
+def gamma_correct_float(image: np.ndarray, gamma: float = 0.45) -> np.ndarray:
+    """Reference gamma correction ``x ** gamma``."""
+    return np.asarray(image, dtype=np.float64) ** gamma
+
+
+def gamma_correct_sc(engine: InMemorySCEngine, image: np.ndarray,
+                     length: int, gamma: float = 0.45,
+                     degree: int = 4) -> np.ndarray:
+    """SC gamma correction via the Bernstein MUX network.
+
+    ``degree`` independent copies of the pixel stream feed the select
+    population count; the Bernstein coefficients ride in constant streams.
+    """
+    img = np.asarray(image, dtype=np.float64)
+    flat = img.ravel()
+    b = _gamma_bernstein(gamma, degree)
+    # n independent input copies per pixel.
+    copies = [engine.generate(flat, length) for _ in range(degree)]
+    count = np.zeros(copies[0].bits.shape, dtype=np.int64)
+    for s in copies:
+        count += s.bits
+    coeff_streams = [engine.generate_correlated(np.full(flat.size, bk),
+                                                length)
+                     for bk in b]
+    out = np.zeros_like(coeff_streams[0].bits)
+    for k in range(degree + 1):
+        out = np.where(count == k, coeff_streams[k].bits, out)
+    return engine.to_binary(Bitstream(out.astype(np.uint8))).reshape(img.shape)
+
+
+# ---------------------------------------------------------------------------
+# Contrast stretching
+# ---------------------------------------------------------------------------
+def contrast_stretch_float(image: np.ndarray, lo: float = 0.2,
+                           hi: float = 0.8) -> np.ndarray:
+    """Saturating linear stretch of ``[lo, hi]`` onto ``[0, 1]``."""
+    img = np.asarray(image, dtype=np.float64)
+    return np.clip((img - lo) / (hi - lo), 0.0, 1.0)
+
+
+def contrast_stretch_sc(engine: InMemorySCEngine, image: np.ndarray,
+                        length: int, lo: float = 0.2,
+                        hi: float = 0.8) -> np.ndarray:
+    """SC contrast stretch: subtract-then-divide on correlated streams.
+
+    ``min(|x - lo|, hi - lo) / (hi - lo)`` for ``x > lo`` — built from the
+    correlated XOR (subtract), AND (min) and CORDIV (divide) ops.  Pixels
+    below ``lo`` clamp to 0 through the max-overlap XOR.
+    """
+    img = np.asarray(image, dtype=np.float64)
+    flat = img.ravel()
+    n = flat.size
+    span = hi - lo
+    stacked = np.stack([flat, np.full(n, lo), np.full(n, hi)])
+    streams = engine.generate_correlated(stacked, length)
+    sx = Bitstream(streams.bits[0])
+    slo = Bitstream(streams.bits[1])
+    shi = Bitstream(streams.bits[2])
+    num = engine.abs_subtract(sx, slo)      # |x - lo|
+    den = engine.abs_subtract(shi, slo)     # hi - lo (correlated => exact)
+    num = engine.minimum(num, den)          # saturate the numerator
+    out = engine.divide(num, den)           # CORDIV
+    vals = engine.to_binary(out).reshape(img.shape)
+    # Below-lo pixels computed |x - lo| on the wrong side; mask them to 0
+    # (the binary-domain staging knows the orientation bit, as in the
+    # oriented-MAJ blend).
+    return np.where(img <= lo, 0.0, vals)

@@ -1,0 +1,62 @@
+"""Image quality metrics: MSE, PSNR, SSIM (Table IV's reporting metrics)."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+from scipy import ndimage
+
+__all__ = ["mse", "psnr", "ssim", "quality_pair"]
+
+
+def _check_pair(a: np.ndarray, b: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    x = np.asarray(a, dtype=np.float64)
+    y = np.asarray(b, dtype=np.float64)
+    if x.shape != y.shape:
+        raise ValueError(f"image shapes differ: {x.shape} vs {y.shape}")
+    return x, y
+
+
+def mse(reference: np.ndarray, test: np.ndarray) -> float:
+    """Mean squared error (images in [0, 1])."""
+    x, y = _check_pair(reference, test)
+    d = x - y
+    return float(np.mean(d * d))
+
+
+def psnr(reference: np.ndarray, test: np.ndarray, peak: float = 1.0) -> float:
+    """Peak signal-to-noise ratio in dB; +inf for identical images."""
+    err = mse(reference, test)
+    if err == 0.0:
+        return float("inf")
+    return float(10.0 * np.log10(peak * peak / err))
+
+
+def ssim(reference: np.ndarray, test: np.ndarray, sigma: float = 1.5,
+         k1: float = 0.01, k2: float = 0.03, peak: float = 1.0) -> float:
+    """Structural similarity index (Wang et al.), Gaussian-windowed.
+
+    Uses the standard 11-tap-equivalent Gaussian window (sigma = 1.5) and
+    constants ``C1 = (k1*L)^2``, ``C2 = (k2*L)^2``.  Returns the mean SSIM
+    over the frame in ``[-1, 1]`` (1 = identical).
+    """
+    x, y = _check_pair(reference, test)
+    c1 = (k1 * peak) ** 2
+    c2 = (k2 * peak) ** 2
+    mu_x = ndimage.gaussian_filter(x, sigma)
+    mu_y = ndimage.gaussian_filter(y, sigma)
+    mu_xx = mu_x * mu_x
+    mu_yy = mu_y * mu_y
+    mu_xy = mu_x * mu_y
+    var_x = ndimage.gaussian_filter(x * x, sigma) - mu_xx
+    var_y = ndimage.gaussian_filter(y * y, sigma) - mu_yy
+    cov = ndimage.gaussian_filter(x * y, sigma) - mu_xy
+    num = (2.0 * mu_xy + c1) * (2.0 * cov + c2)
+    den = (mu_xx + mu_yy + c1) * (var_x + var_y + c2)
+    return float(np.mean(num / den))
+
+
+def quality_pair(reference: np.ndarray, test: np.ndarray) -> Tuple[float, float]:
+    """(SSIM in percent, PSNR in dB) — Table IV's cell format."""
+    return ssim(reference, test) * 100.0, psnr(reference, test)

@@ -1,0 +1,132 @@
+"""Stochastic-computing neural inference (the paper's motivating domain).
+
+The introduction motivates SC with edge vision and neural networks
+(SC-DCNN, fully parallel SC CNNs).  This module implements the standard SC
+inference primitives on top of the library's ops so the in-memory engine
+can run a small dense network:
+
+* **bipolar multiply** — XNOR of uncorrelated streams multiplies weights in
+  ``[-1, 1]`` with activations;
+* **scaled accumulation** — a balanced MUX tree (here: the population-count
+  formulation, equivalent in expectation) averages ``k`` products,
+  computing ``(1/k) * sum_i w_i x_i``;
+* **activation** — the scaled-sum stream is thresholded (sign activation)
+  or re-scaled.
+
+The dot product's ``1/k`` scaling is the classic SC accumulation trade-off;
+weights can be pre-scaled to compensate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..core.bitstream import Bitstream
+from ..core.encoding import bipolar_to_prob, prob_to_bipolar
+from ..imsc.engine import InMemorySCEngine
+
+__all__ = ["ScDotProduct", "ScDenseLayer", "sc_dot_product"]
+
+
+def sc_dot_product(engine: InMemorySCEngine, x: np.ndarray, w: np.ndarray,
+                   length: int,
+                   rng: Union[np.random.Generator, int, None] = None
+                   ) -> float:
+    """Bipolar SC dot product ``(1/k) * sum_i w_i x_i``.
+
+    ``x`` and ``w`` are bipolar values in ``[-1, 1]``.  Products come from
+    XNOR on independent streams; accumulation selects one product stream
+    per bit position uniformly (the MUX-tree semantics).
+    """
+    x = np.asarray(x, dtype=np.float64)
+    w = np.asarray(w, dtype=np.float64)
+    if x.shape != w.shape or x.ndim != 1:
+        raise ValueError("x and w must be equal-length vectors")
+    k = x.size
+    gen = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+    sx = engine.generate(bipolar_to_prob(x), length)
+    sw = engine.generate(bipolar_to_prob(w), length)
+    # XNOR products (one enhanced-SL sensing step each).
+    prods = (1 - (sx.bits ^ sw.bits)).astype(np.uint8)
+    # MUX-tree accumulation: per bit position, a uniform select picks one
+    # product stream — P(out) = mean_i P(prod_i).
+    sel = gen.integers(0, k, size=length)
+    out_bits = prods[sel, np.arange(length)]
+    out = Bitstream(out_bits)
+    return float(prob_to_bipolar(engine.to_binary(out)))
+
+
+@dataclass
+class ScDotProduct:
+    """Reusable dot-product unit with a fixed weight vector."""
+
+    weights: np.ndarray
+    length: int = 256
+
+    def __post_init__(self):
+        w = np.asarray(self.weights, dtype=np.float64)
+        if np.any((w < -1) | (w > 1)):
+            raise ValueError("weights must lie in [-1, 1]")
+        self.weights = w
+
+    def __call__(self, engine: InMemorySCEngine, x: np.ndarray,
+                 rng=None) -> float:
+        return sc_dot_product(engine, x, self.weights, self.length, rng)
+
+    def exact(self, x: np.ndarray) -> float:
+        """Reference scaled dot product."""
+        x = np.asarray(x, dtype=np.float64)
+        return float(np.dot(self.weights, x) / self.weights.size)
+
+
+class ScDenseLayer:
+    """A dense layer of SC neurons with sign activation.
+
+    Parameters
+    ----------
+    weights:
+        ``(out_features, in_features)`` bipolar weight matrix.
+    length:
+        Stream length per inference.
+    """
+
+    def __init__(self, weights: np.ndarray, length: int = 256):
+        w = np.asarray(weights, dtype=np.float64)
+        if w.ndim != 2:
+            raise ValueError("weights must be 2-D")
+        if np.any((w < -1) | (w > 1)):
+            raise ValueError("weights must lie in [-1, 1]")
+        self.weights = w
+        self.length = length
+
+    @property
+    def in_features(self) -> int:
+        return self.weights.shape[1]
+
+    @property
+    def out_features(self) -> int:
+        return self.weights.shape[0]
+
+    def forward(self, engine: InMemorySCEngine, x: np.ndarray,
+                rng=None) -> np.ndarray:
+        """Scaled pre-activations ``(1/k) W x`` via SC, one per neuron."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape != (self.in_features,):
+            raise ValueError(
+                f"expected input of {self.in_features} features")
+        gen = (rng if isinstance(rng, np.random.Generator)
+               else np.random.default_rng(rng))
+        return np.array([
+            sc_dot_product(engine, x, self.weights[j], self.length, gen)
+            for j in range(self.out_features)])
+
+    def predict(self, engine: InMemorySCEngine, x: np.ndarray,
+                rng=None) -> int:
+        """Argmax class over the neurons' scaled pre-activations."""
+        return int(np.argmax(self.forward(engine, x, rng)))
+
+    def exact_forward(self, x: np.ndarray) -> np.ndarray:
+        return self.weights @ np.asarray(x, dtype=np.float64) / self.in_features

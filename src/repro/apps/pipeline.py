@@ -1,0 +1,158 @@
+"""Backend-parameterised application runner.
+
+One entry point, :func:`run_app`, executes any of the three evaluation
+applications on any backend and returns quality metrics plus the backend's
+energy ledger:
+
+* ``backend='sc'``      — the in-memory SC engine (optionally faulty);
+* ``backend='bincim'``  — the binary CIM baseline (optionally faulty);
+* ``backend='float'``   — the exact software reference (quality = 100%).
+
+For matting, quality follows the paper's protocol: re-composite with the
+estimated alpha and compare against the blend using the true alpha.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple, Union
+
+import numpy as np
+
+from ..bincim.design import BinaryCimDesign
+from ..energy.model import EnergyLedger
+from ..imsc.engine import InMemorySCEngine
+from ..reram.faults import DEFAULT_FAULT_RATES, GateFaultRates
+from .compositing import composite_bincim, composite_float, composite_sc
+from .images import natural_scene, scene_triplet
+from .interpolation import upscale_bincim, upscale_float, upscale_sc
+from .matting import (
+    matting_bincim,
+    matting_float,
+    matting_sc,
+    recomposite_quality_inputs,
+)
+from .metrics import quality_pair
+
+__all__ = ["AppResult", "run_app", "APPS", "BACKENDS"]
+
+APPS = ("compositing", "interpolation", "matting")
+BACKENDS = ("float", "sc", "bincim")
+
+
+@dataclass
+class AppResult:
+    """Quality and cost of one application execution."""
+
+    app: str
+    backend: str
+    length: Optional[int]
+    faulty: bool
+    ssim_pct: float
+    psnr_db: float
+    output: np.ndarray
+    reference: np.ndarray
+    ledger: Optional[EnergyLedger] = None
+
+
+def _make_engine(length: int, faulty: bool,
+                 fault_rates: Optional[GateFaultRates],
+                 seed: Optional[int]) -> InMemorySCEngine:
+    rates = (fault_rates if fault_rates is not None
+             else DEFAULT_FAULT_RATES) if faulty else None
+    return InMemorySCEngine(fault_rates=rates, rng=seed)
+
+
+def run_app(app: str, backend: str, length: int = 128,
+            faulty: bool = False,
+            fault_rates: Optional[GateFaultRates] = None,
+            bincim_fault_rate: float = 1e-4,
+            bincim_fault_granularity: str = "gate",
+            size: int = 48, upscale_factor: int = 2,
+            seed: Optional[int] = 0) -> AppResult:
+    """Execute one application on one backend and score it.
+
+    Parameters
+    ----------
+    app:
+        'compositing' | 'interpolation' | 'matting'.
+    backend:
+        'float' | 'sc' | 'bincim'.
+    length:
+        SC stream length N (ignored by the other backends).
+    faulty:
+        Enable CIM fault injection (Table IV's ✓ columns).
+    fault_rates / bincim_fault_rate / bincim_fault_granularity:
+        Fault intensities for the SC and binary backends.  The binary
+        default injects per-gate faults at 1e-4 — stateful-logic writes
+        enjoy single-cell margins, roughly 50x better than the multi-row
+        current discrimination of scouting reads (see EXPERIMENTS.md).
+    size:
+        Scene edge length in pixels.
+    seed:
+        Scene and fault-sampling seed.
+    """
+    if app not in APPS:
+        raise ValueError(f"unknown app {app!r}")
+    if backend not in BACKENDS:
+        raise ValueError(f"unknown backend {backend!r}")
+    scene_rng = np.random.default_rng(seed)
+
+    if app == "compositing":
+        background, foreground, alpha = scene_triplet(size, size, scene_rng)
+        reference = composite_float(foreground, background, alpha)
+        if backend == "float":
+            output, ledger = reference.copy(), None
+        elif backend == "sc":
+            engine = _make_engine(length, faulty, fault_rates, seed)
+            output = composite_sc(engine, foreground, background, alpha, length)
+            ledger = engine.ledger
+        else:
+            design = BinaryCimDesign(
+                fault_rate=bincim_fault_rate if faulty else 0.0,
+                fault_granularity=bincim_fault_granularity, rng=seed)
+            output = composite_bincim(design, foreground, background, alpha)
+            ledger = design.ledger
+
+    elif app == "interpolation":
+        image = natural_scene(size, size, scene_rng)
+        reference = upscale_float(image, upscale_factor)
+        if backend == "float":
+            output, ledger = reference.copy(), None
+        elif backend == "sc":
+            engine = _make_engine(length, faulty, fault_rates, seed)
+            output = upscale_sc(engine, image, length, upscale_factor)
+            ledger = engine.ledger
+        else:
+            design = BinaryCimDesign(
+                fault_rate=bincim_fault_rate if faulty else 0.0,
+                fault_granularity=bincim_fault_granularity, rng=seed)
+            output = upscale_bincim(design, image, upscale_factor)
+            ledger = design.ledger
+
+    else:  # matting
+        background, foreground, alpha = scene_triplet(size, size, scene_rng)
+        composite = composite_float(foreground, background, alpha)
+        if backend == "float":
+            alpha_est, ledger = matting_float(composite, background,
+                                              foreground), None
+        elif backend == "sc":
+            engine = _make_engine(length, faulty, fault_rates, seed)
+            alpha_est = matting_sc(engine, composite, background, foreground,
+                                   length)
+            ledger = engine.ledger
+        else:
+            design = BinaryCimDesign(
+                fault_rate=bincim_fault_rate if faulty else 0.0,
+                fault_granularity=bincim_fault_granularity, rng=seed)
+            alpha_est = matting_bincim(design, composite, background,
+                                       foreground)
+            ledger = design.ledger
+        reference, output = recomposite_quality_inputs(
+            background, foreground, alpha, alpha_est)
+
+    ssim_pct, psnr_db = quality_pair(reference, output)
+    return AppResult(app=app, backend=backend,
+                     length=length if backend == "sc" else None,
+                     faulty=faulty, ssim_pct=ssim_pct, psnr_db=psnr_db,
+                     output=output, reference=reference, ledger=ledger)

@@ -1,0 +1,9 @@
+"""Binary CIM baseline: gate-level bit-serial arithmetic with faults."""
+
+from .arith import BitSerialAlu, from_planes, to_planes
+from .design import BINARY_OP_CYCLES, BinaryCimDesign
+
+__all__ = [
+    "BitSerialAlu", "from_planes", "to_planes",
+    "BINARY_OP_CYCLES", "BinaryCimDesign",
+]

@@ -1,0 +1,235 @@
+"""Bit-serial in-memory binary arithmetic (the AritPIM-style baseline [35]).
+
+Digital processing-in-memory executes binary-radix arithmetic as long
+sequences of stateful-logic gates (MAGIC NORs): each gate is one memory
+cycle whose output is written into a row of cells.  This module implements
+the arithmetic *at the gate level* — every NOR executed is counted (that is
+the latency/energy driver) and is a fault-injection site (that is the
+Table IV quality driver):
+
+* ripple-carry addition — 11 NOR cycles per bit (4 for the majority carry,
+  7 for the two XOR stages, sharing one term);
+* multiplication — shift-and-add over AND-masked partial products,
+  ``O(n^2)`` cycles;
+* restoring fixed-point division — ``O(n^2)`` cycles of trial subtraction
+  and conditional restore, matching the paper's note that CIM division on
+  integer data needs ``O(n^2)`` write cycles.
+
+Operands travel as *bit-planes*: ``planes[i]`` is a batch array holding bit
+``i`` (LSB first) of every element, mirroring the row-per-bit crossbar
+layout.  All gate ops are vectorised across the batch — the row-parallel
+SIMD of digital CIM.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..reram.faults import BitFlipInjector
+
+__all__ = ["BitSerialAlu", "to_planes", "from_planes"]
+
+
+def to_planes(values: np.ndarray, bits: int) -> np.ndarray:
+    """Split unsigned integers into LSB-first bit-planes ``(bits, ...)``."""
+    vals = np.asarray(values, dtype=np.int64)
+    if np.any(vals < 0) or np.any(vals >= (1 << bits)):
+        raise ValueError(f"values outside [0, 2^{bits})")
+    planes = np.empty((bits,) + vals.shape, dtype=np.uint8)
+    for i in range(bits):
+        planes[i] = (vals >> i) & 1
+    return planes
+
+
+def from_planes(planes: np.ndarray) -> np.ndarray:
+    """Recombine LSB-first bit-planes into unsigned integers."""
+    planes = np.asarray(planes, dtype=np.int64)
+    out = np.zeros(planes.shape[1:], dtype=np.int64)
+    for i in range(planes.shape[0]):
+        out += planes[i] << i
+    return out
+
+
+class BitSerialAlu:
+    """Gate-level bit-serial ALU with cycle counting and fault injection.
+
+    Parameters
+    ----------
+    fault_rate:
+        Per-gate output bit-flip probability (0 = ideal).  In digital CIM a
+        flipped gate output lands in a cell and propagates at full binary
+        significance — no graceful degradation.
+    """
+
+    def __init__(self, fault_rate: float = 0.0,
+                 rng=None):
+        self.fault_rate = fault_rate
+        self._injector = (BitFlipInjector(fault_rate, rng)
+                          if fault_rate > 0.0 else None)
+        self.cycles = 0
+        self.gate_cells = 0
+
+    # ------------------------------------------------------------------
+    # The primitive: one MAGIC NOR cycle
+    # ------------------------------------------------------------------
+    def nor(self, a: np.ndarray, b: np.ndarray,
+            c: Optional[np.ndarray] = None) -> np.ndarray:
+        """One stateful-logic NOR cycle (2- or 3-input)."""
+        out = 1 - (a | b if c is None else a | b | c)
+        out = out.astype(np.uint8)
+        self.cycles += 1
+        self.gate_cells += int(np.prod(out.shape))
+        if self._injector is not None:
+            out = self._injector.inject(out)
+        return out
+
+    def not_(self, a: np.ndarray) -> np.ndarray:
+        return self.nor(a, a)
+
+    def and_(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """AND from 3 NOR cycles."""
+        return self.nor(self.not_(a), self.not_(b))
+
+    def or_(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """OR from 2 NOR cycles."""
+        return self.not_(self.nor(a, b))
+
+    def xnor(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """XNOR from 4 NOR cycles (the natural NOR-network parity gate)."""
+        t1 = self.nor(a, b)
+        t2 = self.nor(a, t1)
+        t3 = self.nor(b, t1)
+        return self.nor(t2, t3)
+
+    def xor(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """XOR from 5 NOR cycles (XNOR plus an inverter)."""
+        return self.not_(self.xnor(a, b))
+
+    def mux(self, sel: np.ndarray, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """``b if sel else a`` from 4 NOR cycles (for conditional restore).
+
+        Canonical NOR form: ``nor(nor(a, sel), nor(b, not sel))``.
+        """
+        nsel = self.not_(sel)
+        t2 = self.nor(a, sel)
+        return self.nor(t2, self.nor(b, nsel))
+
+    # ------------------------------------------------------------------
+    # Adder
+    # ------------------------------------------------------------------
+    def full_adder(self, a: np.ndarray, b: np.ndarray,
+                   cin: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Sum and carry from 11 NOR cycles (shared first term)."""
+        g1 = self.nor(a, b)
+        g2 = self.nor(b, cin)
+        g3 = self.nor(a, cin)
+        cout = self.nor(g1, g2, g3)            # MAJ via 3-input NOR
+        t2 = self.nor(a, g1)
+        t3 = self.nor(b, g1)
+        axb_n = self.nor(t2, t3)                # XNOR(a, b)
+        u1 = self.nor(axb_n, cin)
+        u2 = self.nor(axb_n, u1)
+        u3 = self.nor(cin, u1)
+        # XNOR(XNOR(a, b), cin) = a XOR b XOR cin: the two complements
+        # cancel, giving the sum with no extra inverter.
+        s = self.nor(u2, u3)
+        return s, cout
+
+    def add(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Ripple-carry addition of two plane stacks; returns n+1 planes."""
+        a = np.asarray(a, dtype=np.uint8)
+        b = np.asarray(b, dtype=np.uint8)
+        if a.shape != b.shape:
+            raise ValueError("operand plane shapes differ")
+        n = a.shape[0]
+        out = np.empty((n + 1,) + a.shape[1:], dtype=np.uint8)
+        carry = np.zeros(a.shape[1:], dtype=np.uint8)
+        for i in range(n):
+            out[i], carry = self.full_adder(a[i], b[i], carry)
+        out[n] = carry
+        return out
+
+    def sub(self, a: np.ndarray, b: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Two's-complement subtraction; returns (diff planes, borrow-free).
+
+        ``borrow_free`` is 1 where ``a >= b`` (the carry out of the
+        complemented addition).
+        """
+        a = np.asarray(a, dtype=np.uint8)
+        b = np.asarray(b, dtype=np.uint8)
+        n = a.shape[0]
+        diff = np.empty_like(a)
+        carry = np.ones(a.shape[1:], dtype=np.uint8)
+        for i in range(n):
+            nb = self.not_(b[i])
+            diff[i], carry = self.full_adder(a[i], nb, carry)
+        return diff, carry
+
+    # ------------------------------------------------------------------
+    # Multiplier
+    # ------------------------------------------------------------------
+    def multiply(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Shift-and-add multiplication; returns ``2n`` planes."""
+        a = np.asarray(a, dtype=np.uint8)
+        b = np.asarray(b, dtype=np.uint8)
+        n = a.shape[0]
+        batch = a.shape[1:]
+        acc = np.zeros((2 * n,) + batch, dtype=np.uint8)
+        for j in range(n):
+            # Partial product: multiplicand masked by multiplier bit j.
+            pp = np.zeros((2 * n,) + batch, dtype=np.uint8)
+            for i in range(n):
+                pp[i + j] = self.and_(a[i], b[j])
+            acc = self.add(acc, pp)[: 2 * n]
+        return acc
+
+    # ------------------------------------------------------------------
+    # Divider
+    # ------------------------------------------------------------------
+    def divide_fixed(self, num: np.ndarray, den: np.ndarray,
+                     frac_bits: int, int_bits: int = 0) -> np.ndarray:
+        """Restoring long division: ``(num << frac_bits) / den``.
+
+        Produces ``int_bits + frac_bits`` quotient planes (LSB first) — the
+        fixed-point kernel behind image matting's
+        ``alpha = (I - B) / (F - B)``.  With ``int_bits = n`` the full
+        quotient is returned (no saturation): exactly the unbounded binary
+        representation whose fault behaviour Table IV's matting row exposes.
+        Division by zero saturates to the maximum code.
+
+        Classic shift-subtract over the zero-extended dividend: quotient bit
+        ``k`` (MSB first) comes from comparing the running remainder against
+        the divisor after shifting in dividend bit ``k``.
+        """
+        num = np.asarray(num, dtype=np.uint8)
+        den = np.asarray(den, dtype=np.uint8)
+        n = num.shape[0]
+        batch = num.shape[1:]
+        q_bits = int_bits + frac_bits
+        # Dividend X = num << frac_bits, MSB-first bit feed.  The running
+        # remainder stays below 2*den < 2^(n+1).
+        width = n + 1
+        rem = np.zeros((width,) + batch, dtype=np.uint8)
+        quot = np.zeros((q_bits,) + batch, dtype=np.uint8)
+        den_w = np.zeros((width,) + batch, dtype=np.uint8)
+        den_w[:n] = den
+        # Dividend bit at position p (0 = LSB of X): num bit (p - frac_bits).
+        for step in range(q_bits):
+            pos = q_bits - 1 - step
+            x_bit = (num[pos - frac_bits] if pos >= frac_bits
+                     else np.zeros(batch, dtype=np.uint8))
+            # rem = (rem << 1) | x_bit  (a row remap; no gate cycles).
+            rem[1:] = rem[:-1]
+            rem[0] = x_bit
+            trial, ge = self.sub(rem, den_w)
+            # Conditional restore: keep the trial remainder where rem >= den.
+            for i in range(width):
+                rem[i] = self.mux(ge, rem[i], trial[i])
+            quot[pos] = ge
+        # Saturate where the denominator is zero: quotient = all ones.
+        den_zero = den.max(axis=0) == 0
+        if np.any(den_zero):
+            quot[:, den_zero] = 1
+        return quot

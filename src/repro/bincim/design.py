@@ -1,0 +1,190 @@
+"""Binary CIM design: cost and quality evaluation of the digital baseline.
+
+Wraps the gate-level ALU of :mod:`repro.bincim.arith` with the memory cost
+model: every NOR cycle is one stateful-logic (MAGIC-style) operation whose
+latency is a row-write pulse and whose energy scales with the cells written.
+This is the ✧ baseline of Table IV and the reference (normalisation) design
+of Figs. 4 and 5.
+
+The design processes one *row batch* of elements per gate sequence
+(row-parallel SIMD): latency is per batch, energy is per cell.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from ..energy.model import EnergyLedger
+from ..energy.params import DEFAULT_RERAM_COSTS, ReRamStepCosts
+from .arith import BitSerialAlu, from_planes, to_planes
+
+__all__ = ["BinaryCimDesign", "BINARY_OP_CYCLES"]
+
+# NOR-cycle counts of the gate-level implementations at n = 8, measured
+# from BitSerialAlu (regenerate with BinaryCimDesign.measure_cycles()):
+# add = 11 cycles/bit ripple; sub = complement + adder; abs-subtract runs
+# two subtractions plus a mux per bit; multiply = 8 AND-masked partials +
+# 8 double-width accumulations; divide = 8 restoring steps over a 9-plane
+# remainder.
+BINARY_OP_CYCLES: Dict[str, int] = {
+    "add": 88,
+    "sub": 224,
+    "multiply": 1600,
+    "divide": 2304,
+}
+
+# Every MAGIC gate evaluation needs its output cells initialised (RESET)
+# before execution.  The initialisation writes happen ahead of time in
+# background-prepared work rows, so they cost energy but stay off the
+# latency-critical path.
+MAGIC_INIT_ENERGY_FACTOR = 2.0
+
+
+class BinaryCimDesign:
+    """The digital (binary-radix) CIM baseline.
+
+    Parameters
+    ----------
+    bits:
+        Operand precision (8 for image data).
+    fault_rate:
+        CIM fault intensity; 0 = ideal (✗ columns).
+    fault_granularity:
+        'word' (default) flips each bit of every *operation result* with
+        ``fault_rate`` — the paper's injection methodology ("the derived
+        failure rates are used to simulate fault injections") applied to
+        the digital baseline.  'gate' instead flips every intermediate NOR
+        output, a strictly harsher model useful for sensitivity studies.
+    costs:
+        Memory step costs; each NOR cycle is priced as one row write.
+    """
+
+    def __init__(self, bits: int = 8, fault_rate: float = 0.0,
+                 fault_granularity: str = "word",
+                 costs: ReRamStepCosts = DEFAULT_RERAM_COSTS,
+                 rng=None):
+        if fault_granularity not in ("word", "gate"):
+            raise ValueError("fault_granularity must be 'word' or 'gate'")
+        self.bits = bits
+        self.fault_rate = fault_rate
+        self.fault_granularity = fault_granularity
+        self.costs = costs
+        self._gen = (rng if isinstance(rng, np.random.Generator)
+                     else np.random.default_rng(rng))
+        self.ledger = EnergyLedger()
+
+    def _alu(self) -> BitSerialAlu:
+        rate = self.fault_rate if self.fault_granularity == "gate" else 0.0
+        return BitSerialAlu(rate, self._gen)
+
+    def _word_faults(self, values: np.ndarray, width: int) -> np.ndarray:
+        """Flip each bit of each result word with the configured rate."""
+        if self.fault_rate <= 0.0 or self.fault_granularity != "word":
+            return values
+        out = np.asarray(values, dtype=np.int64).copy()
+        for k in range(width):
+            flips = self._gen.random(out.shape) < self.fault_rate
+            out = out ^ (flips.astype(np.int64) << k)
+        return out
+
+    def _book(self, alu: BitSerialAlu, category: str) -> None:
+        """Price the ALU's executed cycles: one write pulse per NOR cycle.
+
+        Output-row initialisation adds energy (see
+        :data:`MAGIC_INIT_ENERGY_FACTOR`) but is latency-hidden.
+        """
+        c = self.costs
+        self.ledger.record(
+            category, c.t_write * alu.cycles,
+            c.e_write_cell * alu.gate_cells * MAGIC_INIT_ENERGY_FACTOR)
+
+    # ------------------------------------------------------------------
+    # Value-level operations (vectorised over batches)
+    # ------------------------------------------------------------------
+    def add(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Saturating unsigned addition of ``bits``-wide integer batches."""
+        alu = self._alu()
+        out = alu.add(to_planes(a, self.bits), to_planes(b, self.bits))
+        self._book(alu, "bincim_add")
+        vals = self._word_faults(from_planes(out), self.bits + 1)
+        return np.minimum(vals, (1 << self.bits) - 1)
+
+    def subtract(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Absolute difference |a - b| (two-pass conditional subtract)."""
+        alu = self._alu()
+        pa = to_planes(a, self.bits)
+        pb = to_planes(b, self.bits)
+        d1, ge = alu.sub(pa, pb)
+        d2, _ = alu.sub(pb, pa)
+        out = np.empty_like(d1)
+        for i in range(self.bits):
+            out[i] = alu.mux(ge, d2[i], d1[i])
+        self._book(alu, "bincim_sub")
+        return self._word_faults(from_planes(out), self.bits)
+
+    def multiply(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Full-width product of two ``bits``-wide integer batches."""
+        alu = self._alu()
+        out = alu.multiply(to_planes(a, self.bits), to_planes(b, self.bits))
+        self._book(alu, "bincim_mul")
+        return self._word_faults(from_planes(out), 2 * self.bits)
+
+    def multiply_scaled(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Fixed-point product ``(a * b) >> bits`` (image blending kernel)."""
+        prod = self.multiply(a, b)
+        return prod >> self.bits
+
+    def divide_fixed(self, num: np.ndarray, den: np.ndarray,
+                     int_bits: Optional[int] = None) -> np.ndarray:
+        """Fixed-point ratio ``(num << bits) / den``, full-width quotient.
+
+        ``int_bits`` defaults to ``bits``: the quotient carries the complete
+        integer part (values above 1.0 representable), matching the
+        unbounded binary representation of the AritPIM divider.
+        """
+        ib = self.bits if int_bits is None else int_bits
+        alu = self._alu()
+        out = alu.divide_fixed(to_planes(num, self.bits),
+                               to_planes(den, self.bits), self.bits, ib)
+        self._book(alu, "bincim_div")
+        return self._word_faults(from_planes(out), self.bits + ib)
+
+    # ------------------------------------------------------------------
+    # Cost summaries
+    # ------------------------------------------------------------------
+    def measure_cycles(self) -> Dict[str, int]:
+        """Execute each kernel once on scalars and report NOR cycles."""
+        out: Dict[str, int] = {}
+        for name, fn in (
+            ("add", lambda alu: alu.add(to_planes(np.array([5]), self.bits),
+                                        to_planes(np.array([9]), self.bits))),
+            ("sub", lambda alu: alu.sub(to_planes(np.array([5]), self.bits),
+                                        to_planes(np.array([9]), self.bits))),
+            ("multiply", lambda alu: alu.multiply(
+                to_planes(np.array([5]), self.bits),
+                to_planes(np.array([9]), self.bits))),
+            ("divide", lambda alu: alu.divide_fixed(
+                to_planes(np.array([5]), self.bits),
+                to_planes(np.array([9]), self.bits), self.bits, self.bits)),
+        ):
+            alu = BitSerialAlu()
+            fn(alu)
+            out[name] = alu.cycles
+        return out
+
+    def op_cost(self, op: str, batch: int = 256) -> EnergyLedger:
+        """Closed-form cost of one op over a row batch."""
+        if op not in BINARY_OP_CYCLES:
+            raise ValueError(f"unknown op {op!r}")
+        cycles = BINARY_OP_CYCLES[op]
+        led = EnergyLedger()
+        led.record(f"bincim_{op}", self.costs.t_write * cycles,
+                   self.costs.e_write_cell * cycles * batch
+                   * MAGIC_INIT_ENERGY_FACTOR)
+        return led
+
+    def reset_ledger(self) -> None:
+        self.ledger = EnergyLedger()

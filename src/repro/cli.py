@@ -1,0 +1,143 @@
+"""Command-line entry point: regenerate any table or figure from a shell.
+
+Usage::
+
+    python -m repro table1 [--samples 20000]
+    python -m repro table2 [--samples 5000]
+    python -m repro table3
+    python -m repro table4 [--runs 3] [--size 32]
+    python -m repro fig4
+    python -m repro fig5
+    python -m repro imsng
+    python -m repro all
+
+Prints ASCII renderings of the paper's tables/figures using the same
+experiment runners the benchmark suite drives.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis import experiments as ex
+from .analysis.tables import render_table
+
+__all__ = ["main"]
+
+
+def _print_table1(args) -> None:
+    result = ex.table1_sng_mse(samples=args.samples, seed=args.seed)
+    lengths = ex.TABLE1_LENGTHS
+    rows = [[label] + [row[n] for n in lengths]
+            for label, row in result.items()]
+    print(render_table(["RNG source"] + [f"N={n}" for n in lengths], rows,
+                       title="Table I - MSE(%) of SBS generation",
+                       precision=4))
+
+
+def _print_table2(args) -> None:
+    result = ex.table2_ops_mse(samples=args.samples, seed=args.seed)
+    lengths = ex.TABLE1_LENGTHS
+    rows = []
+    for op, sources in result.items():
+        for src, series in sources.items():
+            rows.append([op, src] + [series[n] for n in lengths])
+    print(render_table(
+        ["operation", "source"] + [f"N={n}" for n in lengths], rows,
+        title="Table II - MSE(%) of SC operations", precision=4))
+
+
+def _print_table3(args) -> None:
+    result = ex.table3_hw_cost()
+    rows = []
+    for design, ops in result.items():
+        for op, cost in ops.items():
+            rows.append([design, op, cost["latency_ns"], cost["energy_nj"]])
+    print(render_table(["design", "operation", "latency (ns)",
+                        "energy (nJ)"], rows,
+                       title="Table III - hardware cost (N = 256)"))
+
+
+def _print_table4(args) -> None:
+    result = ex.table4_quality(runs=args.runs, size=args.size,
+                               seed=args.seed)
+    apps = ("compositing", "interpolation", "matting")
+    rows = [[label] + [f"{v[a][0]:.1f}/{v[a][1]:.1f}" for a in apps]
+            for label, v in result.items()]
+    print(render_table(["design"] + list(apps), rows,
+                       title="Table IV - SSIM(%)/PSNR(dB)"))
+    drops = ex.quality_drop_summary(result)
+    print(f"\naverage SSIM drop under faults: "
+          f"SC {drops['sc_avg_ssim_drop_pct']:.1f}% vs binary CIM "
+          f"{drops['bincim_avg_ssim_drop_pct']:.1f}%")
+
+
+def _print_fig(which: str) -> None:
+    result = ex.fig4_energy() if which == "fig4" else ex.fig5_throughput()
+    metric = ("normalized energy savings" if which == "fig4"
+              else "normalized throughput")
+    lengths = ex.TABLE4_LENGTHS
+    rows = []
+    for app, designs in result.items():
+        for design, series in designs.items():
+            rows.append([app, design] + [series[n] for n in lengths])
+    print(render_table(
+        ["application", "design"] + [f"N={n}" for n in lengths], rows,
+        title=f"{'Fig. 4' if which == 'fig4' else 'Fig. 5'} - {metric} "
+              f"vs binary CIM", precision=2))
+
+
+def _print_imsng(args) -> None:
+    result = ex.imsng_variants()
+    rows = [[k, v["latency_ns"], v["energy_nj"]] for k, v in result.items()]
+    print(render_table(["variant", "latency (ns)", "energy (nJ)"], rows,
+                       title="IMSNG conversion cost (Sec. IV-B)"))
+    comp = ex.write_based_sng_comparison()
+    rows = [[k, v["latency_ns"], v["energy_nj"], int(v["cell_writes"])]
+            for k, v in comp.items()]
+    print()
+    print(render_table(["design", "latency (ns)", "energy (nJ)",
+                        "cell writes"], rows,
+                       title="Read-based vs write-based SBS generation"))
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate tables/figures of 'All-in-Memory Stochastic "
+                    "Computing using ReRAM' (DAC 2025).")
+    parser.add_argument("target",
+                        choices=["table1", "table2", "table3", "table4",
+                                 "fig4", "fig5", "imsng", "all"])
+    parser.add_argument("--samples", type=int, default=10_000,
+                        help="Monte-Carlo samples for tables I/II")
+    parser.add_argument("--runs", type=int, default=2,
+                        help="application runs to average for table IV")
+    parser.add_argument("--size", type=int, default=32,
+                        help="scene edge length for table IV")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    dispatch = {
+        "table1": lambda: _print_table1(args),
+        "table2": lambda: _print_table2(args),
+        "table3": lambda: _print_table3(args),
+        "table4": lambda: _print_table4(args),
+        "fig4": lambda: _print_fig("fig4"),
+        "fig5": lambda: _print_fig("fig5"),
+        "imsng": lambda: _print_imsng(args),
+    }
+    if args.target == "all":
+        for i, fn in enumerate(dispatch.values()):
+            if i:
+                print()
+            fn()
+    else:
+        dispatch[args.target]()
+    return 0
+
+
+if __name__ == "__main__":   # pragma: no cover - exercised via __main__
+    sys.exit(main())

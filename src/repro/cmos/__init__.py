@@ -1,0 +1,21 @@
+"""CMOS SC baseline: 45 nm standard cells, components, design cost model."""
+
+from .stdcell import CELLS, Cell, cell
+from .components import (
+    Component,
+    comparator,
+    cordiv_unit,
+    counter,
+    gate_component,
+    lfsr,
+    mux_component,
+    sobol_generator,
+)
+from .design import CmosScDesign, FLOP_SETUP_NS
+
+__all__ = [
+    "CELLS", "Cell", "cell",
+    "Component", "comparator", "cordiv_unit", "counter", "gate_component",
+    "lfsr", "mux_component", "sobol_generator",
+    "CmosScDesign", "FLOP_SETUP_NS",
+]

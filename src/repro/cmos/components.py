@@ -1,0 +1,135 @@
+"""CMOS SC hardware components composed from standard cells.
+
+Each component reports three numbers the design-level model consumes:
+
+* ``path_ns``   — its contribution to the bit-serial clock period;
+* ``energy_pj`` — energy per clock cycle;
+* ``area_um2``  — silicon area.
+
+The structural composition follows the classic SC datapaths: an SNG is an
+RNG plus an n-bit comparator; the S-to-B converter is a ``log2(N)+1``-bit
+ripple counter; operations are single gates or a MUX (+ a flip-flop for
+CORDIV).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from .stdcell import cell
+
+__all__ = [
+    "Component",
+    "lfsr",
+    "sobol_generator",
+    "comparator",
+    "counter",
+    "gate_component",
+    "mux_component",
+    "cordiv_unit",
+]
+
+
+@dataclass(frozen=True)
+class Component:
+    """Aggregated cost numbers of one hardware block."""
+
+    name: str
+    path_ns: float
+    energy_pj: float
+    area_um2: float
+    cells: Tuple[Tuple[str, int], ...] = ()
+
+    @staticmethod
+    def compose(name: str, parts: List[Tuple[str, int]],
+                path_cells: List[str]) -> "Component":
+        """Build a component from a cell inventory and a critical path.
+
+        ``parts`` lists (cell name, count) pairs; ``path_cells`` the cells
+        traversed by the slowest signal within the component.
+        """
+        energy = sum(cell(c).energy_pj * n for c, n in parts)
+        area = sum(cell(c).area_um2 * n for c, n in parts)
+        path = sum(cell(c).delay_ns for c in path_cells)
+        return Component(name, path, energy, area, tuple(parts))
+
+
+def lfsr(bits: int = 8) -> Component:
+    """Fibonacci LFSR: ``bits`` flops + 3 feedback XORs.
+
+    The output word is the register contents, so the component's path
+    contribution is just clk-to-q; the feedback XOR settles in parallel.
+    """
+    return Component.compose(
+        f"lfsr{bits}",
+        parts=[("DFF", bits), ("XOR2", 3)],
+        path_cells=["DFF"],
+    )
+
+
+def sobol_generator(bits: int = 8) -> Component:
+    """Sobol sequence generator (Gray-code recurrence).
+
+    Structure: an index counter (``bits`` flops + half-adders), a
+    least-significant-zero detector (priority chain of AND/INV), a direction
+    -number lookup (``bits`` words, modelled as MUX tree levels) and the XOR
+    accumulator register.  Matches the parallel-Sobol structure of Liu & Han
+    (TVLSI'18) at the block level.
+    """
+    return Component.compose(
+        f"sobol{bits}",
+        # Dynamic (TSPC) flops for the index counter and the accumulator
+        # register, as in the parallel-Sobol hardware literature.
+        parts=[("TSPC", bits), ("HA", bits), ("AND2", bits),
+               ("INV", bits), ("MUX2", bits), ("XOR2", bits), ("TSPC", bits)],
+        # Clk-to-q plus the output-select buffer of the accumulator.
+        path_cells=["TSPC", "INV"],
+    )
+
+
+def comparator(bits: int = 8) -> Component:
+    """n-bit magnitude comparator (ripple structure).
+
+    Per bit: XOR for equality, AND for the propagate chain, OR to merge the
+    greater-than terms.  The ripple makes it the dominant combinational
+    element of the SNG critical path.
+    """
+    return Component.compose(
+        f"cmp{bits}",
+        parts=[("XOR2", bits), ("AND2", bits), ("OR2", bits)],
+        # Path: one XOR then the AND/OR ripple; synthesis balances the chain
+        # into a partially flattened tree of ~3/4 the bit count.
+        path_cells=["XOR2"] + ["AND2"] * (3 * bits // 4),
+    )
+
+
+def counter(bits: int) -> Component:
+    """Binary up-counter for S-to-B conversion (``log2(N)+1`` bits)."""
+    return Component.compose(
+        f"cnt{bits}",
+        parts=[("DFF", bits), ("HA", bits)],
+        # Contribution to the cycle: the first half-adder plus setup; the
+        # carry ripple overlaps the next bit period in a synthesised design.
+        path_cells=["HA"],
+    )
+
+
+def gate_component(kind: str) -> Component:
+    """A bare SC logic gate (the entire 'ALU' of a stochastic datapath)."""
+    name = kind.upper()
+    if name not in ("AND2", "OR2", "XOR2"):
+        raise ValueError("gate must be and/or/xor")
+    return Component.compose(kind, parts=[(name, 1)], path_cells=[name])
+
+
+def mux_component() -> Component:
+    """2-to-1 MUX for scaled addition."""
+    return Component.compose("mux2", parts=[("MUX2", 1)], path_cells=["MUX2"])
+
+
+def cordiv_unit() -> Component:
+    """CORDIV division kernel: MUX + state flip-flop."""
+    return Component.compose(
+        "cordiv", parts=[("MUX2", 1), ("DFF", 1)], path_cells=["MUX2"])

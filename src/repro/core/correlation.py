@@ -1,0 +1,96 @@
+"""Stochastic cross-correlation (SCC) and correlation manipulation.
+
+SC operations are only correct at a specific input correlation: AND-based
+multiplication needs *uncorrelated* streams, while XOR-based subtraction,
+CORDIV division, AND-minimum and OR-maximum need *maximally correlated*
+(SCC = +1) streams.  The SCC metric of Alaghi & Hayes quantifies where a pair
+of streams sits on that axis:
+
+* ``SCC = +1`` — overlap is maximal (``P(x=1, y=1) = min(px, py)``);
+* ``SCC =  0`` — streams are independent;
+* ``SCC = -1`` — overlap is minimal (``max(px + py - 1, 0)``).
+
+This module implements the metric (vectorised over stream batches) plus the
+standard correlation-manipulation tools: rotation-based decorrelation and
+regeneration-based correlation.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple, Union
+
+import numpy as np
+
+from .bitstream import Bitstream
+
+__all__ = ["scc", "overlap_probability", "decorrelate", "correlation_matrix"]
+
+
+def overlap_probability(x: Bitstream, y: Bitstream) -> np.ndarray:
+    """Empirical ``P(x=1 AND y=1)`` per stream pair."""
+    if x.length != y.length:
+        raise ValueError("stream lengths differ")
+    return (x.bits & y.bits).mean(axis=-1)
+
+
+def scc(x: Bitstream, y: Bitstream) -> np.ndarray:
+    """Stochastic cross-correlation of two stream batches.
+
+    Returns values in ``[-1, +1]`` (0 where either stream is constant, by
+    convention, since correlation is undefined there).
+    """
+    if x.length != y.length:
+        raise ValueError("stream lengths differ")
+    px = x.value()
+    py = y.value()
+    p11 = overlap_probability(x, y)
+    delta = p11 - px * py
+
+    pos_norm = np.minimum(px, py) - px * py
+    neg_norm = px * py - np.maximum(px + py - 1.0, 0.0)
+
+    out = np.zeros(np.broadcast(px, py).shape, dtype=np.float64)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        pos = delta > 0
+        out = np.where(pos & (pos_norm > 0), delta / np.where(pos_norm > 0, pos_norm, 1), out)
+        neg = delta < 0
+        out = np.where(neg & (neg_norm > 0), delta / np.where(neg_norm > 0, neg_norm, 1), out)
+    return np.clip(out, -1.0, 1.0)
+
+
+def decorrelate(x: Bitstream, shift: Union[int, None] = None) -> Bitstream:
+    """Break correlation with other streams by circular rotation.
+
+    Rotation preserves the encoded value exactly (the multiset of bits is
+    unchanged) while destroying bitwise alignment; a shift of about half the
+    stream length is the conventional choice.
+    """
+    if shift is None:
+        shift = max(1, x.length // 2 + 1)
+    return x.roll(shift)
+
+
+def correlation_matrix(streams: Bitstream) -> np.ndarray:
+    """Pairwise SCC matrix for a batch of streams.
+
+    Parameters
+    ----------
+    streams:
+        A ``Bitstream`` whose batch is 1-D (shape ``(k, N)``).
+
+    Returns
+    -------
+    ``(k, k)`` symmetric matrix of SCC values with unit diagonal (where
+    defined).
+    """
+    if streams.bits.ndim != 2:
+        raise ValueError("expected a flat batch of streams (k, N)")
+    k = streams.bits.shape[0]
+    out = np.eye(k, dtype=np.float64)
+    for i in range(k):
+        xi = Bitstream(streams.bits[i][None, :])
+        rest = Bitstream(streams.bits[i:])
+        row = scc(Bitstream(np.broadcast_to(xi.bits, rest.bits.shape).copy()), rest)
+        out[i, i:] = row
+        out[i:, i] = row
+    return out

@@ -1,0 +1,118 @@
+"""Deterministic stochastic computing (Najafi et al., TVLSI'19 — ref [9]).
+
+The paper's related work notes that deterministic SC removes random
+fluctuation entirely: operands are encoded as *unary* streams and the
+pairing between operand bits is made exhaustive, so AND-based
+multiplication, XOR subtraction etc. become exact — at the price of stream
+lengths that grow as the product of operand resolutions.
+
+Three classic pairing schemes are implemented; all take unipolar values and
+return :class:`~repro.core.bitstream.Bitstream` pairs whose bit-level
+pairing enumerates the full cross product:
+
+* **relatively-prime lengths** — operand A uses length ``la``, operand B
+  ``lb`` with ``gcd(la, lb) = 1``; repeating both to ``la * lb`` bits pairs
+  every A-bit with every B-bit exactly once;
+* **rotation** — B's unary stream advances (rotates) by one position after
+  every ``la`` bits;
+* **clock division** — B holds each bit for ``la`` cycles (B is "clock
+  divided" by A's length).
+
+These generators let the library check SC arithmetic against exact results
+and provide the deterministic baseline some CIM designs (e.g. exact
+in-memory multiplication, Riahi Alam et al.) build on.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+import numpy as np
+
+from .bitstream import Bitstream
+
+__all__ = [
+    "unary_bits",
+    "relatively_prime_pair",
+    "rotation_pair",
+    "clock_division_pair",
+    "deterministic_multiply",
+]
+
+
+def unary_bits(value: float, length: int) -> np.ndarray:
+    """First-``k``-ones unary pattern for ``value`` at ``length`` bits."""
+    if not 0.0 <= value <= 1.0:
+        raise ValueError("value must lie in [0, 1]")
+    k = int(round(value * length))
+    out = np.zeros(length, dtype=np.uint8)
+    out[:k] = 1
+    return out
+
+
+def relatively_prime_pair(x: float, y: float, len_x: int,
+                          len_y: int) -> Tuple[Bitstream, Bitstream]:
+    """Exhaustive pairing via relatively-prime stream lengths.
+
+    Both streams are tiled to ``len_x * len_y`` bits; because the lengths
+    are coprime, bit ``i`` of the result pairs position ``i mod len_x`` of x
+    with ``i mod len_y`` of y, covering the full cross product exactly once.
+    """
+    if math.gcd(len_x, len_y) != 1:
+        raise ValueError(f"lengths must be coprime, got {len_x}, {len_y}")
+    total = len_x * len_y
+    ux = unary_bits(x, len_x)
+    uy = unary_bits(y, len_y)
+    sx = np.tile(ux, len_y)
+    sy = np.tile(uy, len_x)
+    assert sx.size == sy.size == total
+    return Bitstream(sx), Bitstream(sy)
+
+
+def rotation_pair(x: float, y: float,
+                  length: int) -> Tuple[Bitstream, Bitstream]:
+    """Exhaustive pairing via stream rotation.
+
+    x repeats its unary pattern ``length`` times; y's pattern rotates by one
+    position per repetition, so every (i, j) offset combination occurs.
+    """
+    ux = unary_bits(x, length)
+    uy = unary_bits(y, length)
+    sx = np.tile(ux, length)
+    sy = np.concatenate([np.roll(uy, -r) for r in range(length)])
+    return Bitstream(sx), Bitstream(sy)
+
+
+def clock_division_pair(x: float, y: float,
+                        length: int) -> Tuple[Bitstream, Bitstream]:
+    """Exhaustive pairing via clock division.
+
+    x repeats per-bit; y holds each of its bits for a full repetition of x.
+    """
+    ux = unary_bits(x, length)
+    uy = unary_bits(y, length)
+    sx = np.tile(ux, length)
+    sy = np.repeat(uy, length)
+    return Bitstream(sx), Bitstream(sy)
+
+
+def deterministic_multiply(x: float, y: float, length: int = 16,
+                           scheme: str = "rotation") -> float:
+    """Exact unipolar multiplication on deterministic streams.
+
+    The AND of any exhaustively paired encoding computes
+    ``round(x * L) / L * round(y * L) / L`` with zero random error.
+    """
+    if scheme == "rotation":
+        a, b = rotation_pair(x, y, length)
+    elif scheme == "clock_division":
+        a, b = clock_division_pair(x, y, length)
+    elif scheme == "relatively_prime":
+        b_len = length + 1
+        if math.gcd(length, b_len) != 1:   # pragma: no cover - always coprime
+            b_len += 1
+        a, b = relatively_prime_pair(x, y, length, b_len)
+    else:
+        raise ValueError(f"unknown scheme {scheme!r}")
+    return float((a & b).value())

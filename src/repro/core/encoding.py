@@ -1,0 +1,95 @@
+"""Value encodings for stochastic computing.
+
+Two standard encodings map real values onto bit-stream probabilities:
+
+* **unipolar** — ``x in [0, 1]`` maps directly to ``P(1) = x``;
+* **bipolar** — ``x in [-1, 1]`` maps to ``P(1) = (x + 1) / 2``.
+
+The paper operates on 8-bit image data in the unipolar domain, so this module
+also provides the fixed-point quantisation helpers used throughout the
+pipeline (images are ``uint8``; probabilities are ``pixel / 255`` or
+``pixel / 256`` depending on the comparator convention).
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+__all__ = [
+    "unipolar_to_prob",
+    "prob_to_unipolar",
+    "bipolar_to_prob",
+    "prob_to_bipolar",
+    "quantize",
+    "binary_to_prob",
+    "prob_to_binary",
+]
+
+Number = Union[float, np.ndarray]
+
+
+def _check_range(x: np.ndarray, lo: float, hi: float, name: str) -> None:
+    if np.any((x < lo) | (x > hi)):
+        raise ValueError(f"{name} values must lie in [{lo}, {hi}]")
+
+
+def unipolar_to_prob(x: Number) -> np.ndarray:
+    """Map a unipolar value ``x in [0, 1]`` to a stream probability."""
+    arr = np.asarray(x, dtype=np.float64)
+    _check_range(arr, 0.0, 1.0, "unipolar")
+    return arr
+
+
+def prob_to_unipolar(p: Number) -> np.ndarray:
+    """Inverse of :func:`unipolar_to_prob` (identity with validation)."""
+    arr = np.asarray(p, dtype=np.float64)
+    _check_range(arr, 0.0, 1.0, "probability")
+    return arr
+
+
+def bipolar_to_prob(x: Number) -> np.ndarray:
+    """Map a bipolar value ``x in [-1, 1]`` to ``P(1) = (x + 1) / 2``."""
+    arr = np.asarray(x, dtype=np.float64)
+    _check_range(arr, -1.0, 1.0, "bipolar")
+    return (arr + 1.0) / 2.0
+
+
+def prob_to_bipolar(p: Number) -> np.ndarray:
+    """Map a stream probability back to a bipolar value ``2p - 1``."""
+    arr = np.asarray(p, dtype=np.float64)
+    _check_range(arr, 0.0, 1.0, "probability")
+    return 2.0 * arr - 1.0
+
+
+def quantize(x: Number, bits: int) -> np.ndarray:
+    """Quantise ``x in [0, 1]`` to ``bits``-bit fixed point (floor).
+
+    Returns integer codes in ``[0, 2**bits - 1]``.  This mirrors what a
+    hardware SNG sees: the binary operand register holds ``floor(x * 2^n)``.
+    """
+    if bits < 1:
+        raise ValueError("bits must be >= 1")
+    arr = np.asarray(x, dtype=np.float64)
+    _check_range(arr, 0.0, 1.0, "value")
+    scale = float(1 << bits)
+    codes = np.floor(arr * scale).astype(np.int64)
+    return np.minimum(codes, (1 << bits) - 1)
+
+
+def binary_to_prob(code: Number, bits: int) -> np.ndarray:
+    """Map an n-bit integer code to the probability ``code / 2^n``."""
+    arr = np.asarray(code, dtype=np.float64)
+    scale = float(1 << bits)
+    out = arr / scale
+    _check_range(out, 0.0, 1.0, "code/2^n")
+    return out
+
+
+def prob_to_binary(p: Number, bits: int) -> np.ndarray:
+    """Round a probability to the nearest representable n-bit code."""
+    arr = np.asarray(p, dtype=np.float64)
+    _check_range(arr, 0.0, 1.0, "probability")
+    scale = float(1 << bits)
+    return np.clip(np.rint(arr * scale), 0, (1 << bits) - 1).astype(np.int64)

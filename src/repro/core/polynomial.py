@@ -1,0 +1,92 @@
+"""Polynomial evaluation with stochastic logic (Bernstein form).
+
+Classic SC result (Qian & Riedel): any polynomial with coefficients in
+``[0, 1]`` can be computed by a multiplexer whose data inputs are constant
+streams at the Bernstein coefficients and whose select is the *sum of n
+independent copies* of the input stream.  The probability of exactly ``k``
+of ``n`` input copies being 1 is the Bernstein basis ``B_{k,n}(x)``, so the
+MUX output is ``sum_k b_k B_{k,n}(x)``.
+
+Used by the gamma-correction image filter in :mod:`repro.apps.filters` —
+one of the standard SC image-processing workloads (Li et al. [5]).
+"""
+
+from __future__ import annotations
+
+from math import comb
+from typing import Sequence, Union
+
+import numpy as np
+
+from .bitstream import Bitstream
+
+__all__ = [
+    "bernstein_from_power",
+    "bernstein_eval_exact",
+    "bernstein_eval_sc",
+]
+
+
+def bernstein_from_power(coeffs: Sequence[float]) -> np.ndarray:
+    """Convert power-basis coefficients ``a_0 + a_1 x + ...`` to Bernstein.
+
+    ``b_k = sum_{i<=k} C(k,i)/C(n,i) * a_i`` for degree ``n``.
+    """
+    a = np.asarray(coeffs, dtype=np.float64)
+    n = a.size - 1
+    b = np.zeros(n + 1)
+    for k in range(n + 1):
+        b[k] = sum(comb(k, i) / comb(n, i) * a[i] for i in range(k + 1))
+    return b
+
+
+def bernstein_eval_exact(bernstein: Sequence[float],
+                         x: Union[float, np.ndarray]) -> np.ndarray:
+    """Reference evaluation of ``sum_k b_k B_{k,n}(x)``."""
+    b = np.asarray(bernstein, dtype=np.float64)
+    n = b.size - 1
+    xv = np.asarray(x, dtype=np.float64)
+    out = np.zeros_like(xv, dtype=np.float64)
+    for k in range(n + 1):
+        out = out + b[k] * comb(n, k) * xv ** k * (1 - xv) ** (n - k)
+    return out
+
+
+def bernstein_eval_sc(bernstein: Sequence[float],
+                      x_streams: Sequence[Bitstream],
+                      coeff_streams: Sequence[Bitstream]) -> Bitstream:
+    """Stochastic Bernstein evaluation.
+
+    Parameters
+    ----------
+    bernstein:
+        Coefficients ``b_0 .. b_n`` (each in [0, 1]); used only for
+        validation — the values live in ``coeff_streams``.
+    x_streams:
+        ``n`` independent streams all encoding the input ``x``.
+    coeff_streams:
+        ``n + 1`` streams encoding the coefficients, independent of the
+        input streams.
+
+    Returns the MUX output stream: at each bit position, the number of '1's
+    among the input copies selects which coefficient stream is sampled.
+    """
+    b = np.asarray(bernstein, dtype=np.float64)
+    n = b.size - 1
+    if np.any((b < 0) | (b > 1)):
+        raise ValueError("Bernstein coefficients must lie in [0, 1]")
+    if len(x_streams) != n:
+        raise ValueError(f"need {n} input streams, got {len(x_streams)}")
+    if len(coeff_streams) != n + 1:
+        raise ValueError(
+            f"need {n + 1} coefficient streams, got {len(coeff_streams)}")
+    length = x_streams[0].length
+    count = np.zeros(x_streams[0].bits.shape, dtype=np.int64)
+    for s in x_streams:
+        if s.length != length:
+            raise ValueError("input stream lengths differ")
+        count = count + s.bits
+    out = np.zeros_like(coeff_streams[0].bits)
+    for k in range(n + 1):
+        out = np.where(count == k, coeff_streams[k].bits, out)
+    return Bitstream(out.astype(np.uint8))

@@ -1,0 +1,19 @@
+"""Energy/latency modelling: parameters, ledger, NVMain-style simulator."""
+
+from .params import (
+    DEFAULT_RERAM_COSTS,
+    DEFAULT_TRANSFER_COSTS,
+    ReRamStepCosts,
+    TransferCosts,
+)
+from .model import EnergyLedger, replay_trace
+from .nvmain import MemorySystem, SimResult, TraceRequest
+from .traces import imsng_trace, pipelined_flow_trace, sc_op_trace, stob_trace
+
+__all__ = [
+    "DEFAULT_RERAM_COSTS", "DEFAULT_TRANSFER_COSTS",
+    "ReRamStepCosts", "TransferCosts",
+    "EnergyLedger", "replay_trace",
+    "MemorySystem", "SimResult", "TraceRequest",
+    "imsng_trace", "pipelined_flow_trace", "sc_op_trace", "stob_trace",
+]

@@ -1,0 +1,114 @@
+"""Event-based energy/latency accounting.
+
+The ledger pattern used throughout the library: components record *events*
+(named operations with a count and a per-event cost), and the ledger
+aggregates totals and breakdowns.  Controllers' command traces
+(:class:`repro.reram.controller.Command`) can be replayed directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..reram.controller import Command
+from .params import DEFAULT_RERAM_COSTS, ReRamStepCosts
+
+__all__ = ["EnergyLedger", "replay_trace"]
+
+
+@dataclass
+class EnergyLedger:
+    """Accumulates per-category latency and energy.
+
+    Latency accumulation supports two modes: ``serial`` events extend the
+    critical path; ``overlapped`` events only add energy (they run in
+    parallel with already-accounted work, e.g. pipelined conversions in a
+    second array).
+    """
+
+    latency_s: float = 0.0
+    energy_j: float = 0.0
+    by_category: Dict[str, Tuple[float, float]] = field(default_factory=dict)
+
+    def record(self, category: str, latency_s: float, energy_j: float,
+               count: int = 1, overlapped: bool = False) -> None:
+        """Add ``count`` events of the given per-event cost."""
+        if count < 0:
+            raise ValueError("count must be >= 0")
+        dt = latency_s * count
+        de = energy_j * count
+        if not overlapped:
+            self.latency_s += dt
+        self.energy_j += de
+        prev = self.by_category.get(category, (0.0, 0.0))
+        self.by_category[category] = (prev[0] + (0.0 if overlapped else dt),
+                                      prev[1] + de)
+
+    def merge(self, other: "EnergyLedger", overlapped: bool = False) -> None:
+        """Fold another ledger into this one.
+
+        With ``overlapped=True`` the other ledger's latency is assumed hidden
+        under this one's critical path (pipelining across arrays); its energy
+        is still paid.
+        """
+        if not overlapped:
+            self.latency_s += other.latency_s
+        self.energy_j += other.energy_j
+        for cat, (dt, de) in other.by_category.items():
+            prev = self.by_category.get(cat, (0.0, 0.0))
+            self.by_category[cat] = (prev[0] + (0.0 if overlapped else dt),
+                                     prev[1] + de)
+
+    def scaled(self, factor: float) -> "EnergyLedger":
+        """A copy with all costs multiplied (e.g. per-pixel -> per-image)."""
+        out = EnergyLedger(self.latency_s * factor, self.energy_j * factor)
+        out.by_category = {k: (dt * factor, de * factor)
+                           for k, (dt, de) in self.by_category.items()}
+        return out
+
+    @property
+    def latency_ns(self) -> float:
+        return self.latency_s * 1e9
+
+    @property
+    def energy_nj(self) -> float:
+        return self.energy_j * 1e9
+
+    def breakdown(self) -> Dict[str, Dict[str, float]]:
+        """Human-friendly per-category summary (ns / nJ)."""
+        return {
+            cat: {"latency_ns": dt * 1e9, "energy_nj": de * 1e9}
+            for cat, (dt, de) in sorted(self.by_category.items())
+        }
+
+    def __repr__(self) -> str:
+        return (f"EnergyLedger(latency={self.latency_ns:.1f} ns, "
+                f"energy={self.energy_nj:.3f} nJ)")
+
+
+def replay_trace(trace: Iterable[Command],
+                 costs: ReRamStepCosts = DEFAULT_RERAM_COSTS,
+                 ledger: Optional[EnergyLedger] = None) -> EnergyLedger:
+    """Price a controller command trace with the given step costs.
+
+    Write energy scales with the number of cells actually pulsed
+    (differential writes); sensing energy scales with the row width.
+    """
+    led = ledger if ledger is not None else EnergyLedger()
+    for cmd in trace:
+        if cmd.kind == "read":
+            led.record("read", costs.t_sense, costs.sense_energy(cmd.cells))
+        elif cmd.kind == "sl":
+            led.record(f"sl_{cmd.gate}", costs.t_sense,
+                       costs.sense_energy(cmd.cells))
+        elif cmd.kind == "write":
+            led.record("write", costs.t_write, costs.write_energy(cmd.cells))
+        elif cmd.kind == "latch":
+            led.record("latch", costs.t_latch,
+                       costs.e_latch_row * cmd.cells / costs.row_width)
+        elif cmd.kind == "adc":
+            led.record("adc", costs.t_adc, costs.e_adc, count=max(1, cmd.cells))
+        else:
+            raise ValueError(f"unknown command kind {cmd.kind!r}")
+    return led

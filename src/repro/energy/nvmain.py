@@ -1,0 +1,134 @@
+"""Simplified NVMain-style trace-driven memory simulator.
+
+The paper feeds operation traces of the SC flow into NVMain 2.0 to obtain
+system-level latency and energy.  This module re-implements the part of that
+methodology the evaluation needs: a multi-bank nonvolatile memory in which
+
+* each bank executes its request stream in order,
+* different banks run concurrently (the source of the pipelining the paper
+  exploits across SC stages),
+* explicit cross-bank dependencies serialise producer/consumer stages,
+* every request is priced from :class:`~repro.energy.params.ReRamStepCosts`.
+
+The simulator reports the makespan (critical path across banks), total
+energy and per-bank utilisation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .params import DEFAULT_RERAM_COSTS, ReRamStepCosts
+
+__all__ = ["TraceRequest", "SimResult", "MemorySystem"]
+
+
+@dataclass(frozen=True)
+class TraceRequest:
+    """One memory command in a trace.
+
+    Attributes
+    ----------
+    bank:
+        Target bank index.
+    kind:
+        'sense' | 'write' | 'latch' | 'adc' | 'read'.
+    cells:
+        Cells touched (sets energy; 'adc' uses it as conversion count).
+    depends_on:
+        Index of an earlier request (in the same trace list) that must
+        complete first — used to serialise pipeline stages across banks.
+    tag:
+        Free-form label for reporting.
+    """
+
+    bank: int
+    kind: str
+    cells: int = 256
+    depends_on: Optional[int] = None
+    tag: str = ""
+
+
+@dataclass
+class SimResult:
+    """Outcome of one trace simulation."""
+
+    makespan_s: float
+    energy_j: float
+    finish_times: List[float]
+    bank_busy_s: Dict[int, float]
+
+    @property
+    def makespan_ns(self) -> float:
+        return self.makespan_s * 1e9
+
+    @property
+    def energy_nj(self) -> float:
+        return self.energy_j * 1e9
+
+    def utilisation(self) -> Dict[int, float]:
+        """Busy fraction per bank over the makespan."""
+        if self.makespan_s <= 0:
+            return {b: 0.0 for b in self.bank_busy_s}
+        return {b: t / self.makespan_s for b, t in self.bank_busy_s.items()}
+
+
+class MemorySystem:
+    """A bank-parallel, in-order-per-bank nonvolatile memory model."""
+
+    def __init__(self, n_banks: int = 4,
+                 costs: ReRamStepCosts = DEFAULT_RERAM_COSTS):
+        if n_banks < 1:
+            raise ValueError("need at least one bank")
+        self.n_banks = n_banks
+        self.costs = costs
+
+    def _duration(self, req: TraceRequest) -> float:
+        c = self.costs
+        if req.kind in ("sense", "read"):
+            return c.t_sense
+        if req.kind == "write":
+            return c.t_write
+        if req.kind == "latch":
+            return c.t_latch
+        if req.kind == "adc":
+            return c.t_adc * max(1, req.cells)
+        raise ValueError(f"unknown request kind {req.kind!r}")
+
+    def _energy(self, req: TraceRequest) -> float:
+        c = self.costs
+        if req.kind in ("sense", "read"):
+            return c.sense_energy(req.cells)
+        if req.kind == "write":
+            return c.write_energy(req.cells)
+        if req.kind == "latch":
+            return c.e_latch_row * req.cells / c.row_width
+        if req.kind == "adc":
+            return c.e_adc * max(1, req.cells)
+        raise ValueError(f"unknown request kind {req.kind!r}")
+
+    def simulate(self, trace: Sequence[TraceRequest]) -> SimResult:
+        """Run a trace to completion and return timing/energy totals."""
+        bank_free = [0.0] * self.n_banks
+        bank_busy: Dict[int, float] = {b: 0.0 for b in range(self.n_banks)}
+        finish: List[float] = []
+        energy = 0.0
+        for i, req in enumerate(trace):
+            if not 0 <= req.bank < self.n_banks:
+                raise ValueError(f"request {i} targets bad bank {req.bank}")
+            start = bank_free[req.bank]
+            if req.depends_on is not None:
+                if not 0 <= req.depends_on < i:
+                    raise ValueError(
+                        f"request {i} depends on invalid index {req.depends_on}")
+                start = max(start, finish[req.depends_on])
+            dur = self._duration(req)
+            end = start + dur
+            bank_free[req.bank] = end
+            bank_busy[req.bank] += dur
+            finish.append(end)
+            energy += self._energy(req)
+        makespan = max(finish) if finish else 0.0
+        return SimResult(makespan_s=makespan, energy_j=energy,
+                         finish_times=finish, bank_busy_s=bank_busy)

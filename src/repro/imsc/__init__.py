@@ -1,0 +1,24 @@
+"""The paper's contribution: the all-in-memory SC accelerator model."""
+
+from .gtnetwork import GT_OPS_PER_BIT, build_gt_xag, gt_reference
+from .imsng import ConversionResult, ImsngUnit
+from .stob import InMemoryStoB
+from .cost import (
+    ReRamScDesign,
+    SC_OP_SENSE_STEPS,
+    imsng_conversion_cost,
+    sc_op_cost,
+    stob_cost,
+)
+from .engine import InMemorySCEngine
+from .mapping import MatMapping, ScProgram, Statement, map_program
+
+__all__ = [
+    "GT_OPS_PER_BIT", "build_gt_xag", "gt_reference",
+    "ConversionResult", "ImsngUnit",
+    "InMemoryStoB",
+    "ReRamScDesign", "SC_OP_SENSE_STEPS",
+    "imsng_conversion_cost", "sc_op_cost", "stob_cost",
+    "InMemorySCEngine",
+    "MatMapping", "ScProgram", "Statement", "map_program",
+]

@@ -1,0 +1,319 @@
+"""The all-in-memory stochastic computing engine.
+
+:class:`InMemorySCEngine` is the vectorised, application-scale model of the
+paper's accelerator.  It executes every SC stage with the *semantics and
+fault sites* of the in-memory implementation:
+
+* **SNG** — the IMSNG greater-than scan over TRNG bit-planes, evaluated
+  bit-parallel over whole operand batches; every scouting-logic sensing step
+  is a fault-injection site at its gate's derived rate.  IMSNG-opt has fewer
+  fault sites than IMSNG-naive because the flag ANDs move into the (ideal)
+  latch path — an effect the ablation benches expose.
+* **SC ops** — one faulty sensing step per bulk-bitwise op; CORDIV division
+  runs its sequential latch recurrence with per-cycle fault sites.
+* **S-to-B** — the reference-column/ADC path of
+  :class:`~repro.imsc.stob.InMemoryStoB`.
+
+Every stage also books its cost into an :class:`~repro.energy.model
+.EnergyLedger`, so an application run yields quality *and* latency/energy
+from one execution.  The engine duck-types the SNG interface
+(``generate`` / ``generate_pair`` / ``generate_correlated``) so it drops
+into :class:`~repro.core.flow.ScFlow` and the Monte-Carlo harness
+unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple, Union
+
+import numpy as np
+
+from ..core.bitstream import Bitstream
+from ..core.encoding import quantize
+from ..core import ops as scops
+from ..energy.model import EnergyLedger
+from ..energy.params import DEFAULT_RERAM_COSTS, ReRamStepCosts
+from ..reram.device import DEFAULT_DEVICE, DeviceParams
+from ..reram.faults import GateFaultRates
+from .cost import imsng_conversion_cost, sc_op_cost, stob_cost
+from .stob import InMemoryStoB
+
+__all__ = ["InMemorySCEngine"]
+
+_OP_GATES = {
+    "multiplication": "and",
+    "scaled_addition": "maj3",
+    "approx_addition": "or",
+    "abs_subtraction": "xor",
+    "minimum": "and",
+    "maximum": "or",
+}
+
+
+class InMemorySCEngine:
+    """Vectorised in-ReRAM SC engine with fault injection and cost ledger.
+
+    Parameters
+    ----------
+    segment_bits:
+        IMSNG random-number width M (paper default 8).
+    mode:
+        'opt' (default) or 'naive' IMSNG variant.
+    fault_rates:
+        Per-gate scouting-logic error rates; ``None`` runs fault-free
+        (Table IV's ✗ columns).
+    trng_bias / trng_autocorr:
+        Imperfections of the in-memory TRNG bit source.
+    device / costs:
+        Device parameters (for the S-to-B analog path) and step costs.
+    ideal_stob:
+        Bypass the ADC path with an exact popcount (for ablation).
+    """
+
+    def __init__(self, segment_bits: int = 8, mode: str = "opt",
+                 fault_rates: Optional[GateFaultRates] = None,
+                 trng_bias: float = 0.004, trng_autocorr: float = 0.0,
+                 device: DeviceParams = DEFAULT_DEVICE,
+                 costs: ReRamStepCosts = DEFAULT_RERAM_COSTS,
+                 ideal_stob: bool = False,
+                 rng: Union[np.random.Generator, int, None] = None):
+        if mode not in ("naive", "opt"):
+            raise ValueError("mode must be 'naive' or 'opt'")
+        self.segment_bits = segment_bits
+        self.mode = mode
+        self.fault_rates = fault_rates
+        self.trng_bias = trng_bias
+        self.trng_autocorr = trng_autocorr
+        self.device = device
+        self.costs = costs
+        self.ideal_stob = ideal_stob
+        self._gen = (rng if isinstance(rng, np.random.Generator)
+                     else np.random.default_rng(rng))
+        self._stob = InMemoryStoB(device, rng=self._gen)
+        self.ledger = EnergyLedger()
+
+    # ------------------------------------------------------------------
+    # Fault helpers
+    # ------------------------------------------------------------------
+    def _flip(self, bits: np.ndarray, gate: str) -> np.ndarray:
+        if self.fault_rates is None:
+            return bits
+        p = self.fault_rates.for_gate(gate)
+        if p <= 0.0:
+            return bits
+        mask = (self._gen.random(bits.shape) < p).astype(np.uint8)
+        return bits ^ mask
+
+    # ------------------------------------------------------------------
+    # TRNG bit-planes
+    # ------------------------------------------------------------------
+    def _trng_planes(self, shape: Tuple[int, ...]) -> np.ndarray:
+        """M bit-planes of in-memory true-random bits."""
+        p1 = 0.5 + self.trng_bias
+        bits = (self._gen.random((self.segment_bits,) + shape) < p1)
+        bits = bits.astype(np.uint8)
+        rho = self.trng_autocorr
+        if rho != 0.0:
+            # Lag-1 correlation along the stream axis (last axis).
+            copy = self._gen.random(bits.shape) < abs(rho)
+            prev = bits[..., :-1]
+            tgt = bits[..., 1:]
+            repl = prev if rho > 0 else 1 - prev
+            bits[..., 1:] = np.where(copy[..., 1:], repl, tgt)
+        return bits
+
+    def _operand_planes(self, codes: np.ndarray, length: int) -> np.ndarray:
+        """Operand bit-planes broadcast along the stream axis, MSB first."""
+        m = self.segment_bits
+        planes = np.empty((m,) + codes.shape + (length,), dtype=np.uint8)
+        for i in range(m):
+            bit = ((codes >> (m - 1 - i)) & 1).astype(np.uint8)
+            planes[i] = np.broadcast_to(bit[..., None], codes.shape + (length,))
+        return planes
+
+    def _gt_scan(self, a_planes: np.ndarray, rn_planes: np.ndarray) -> np.ndarray:
+        """The faulty greater-than scan (one sensed gate per step)."""
+        shape = a_planes.shape[1:]
+        flag = np.ones(shape, dtype=np.uint8)
+        gt = np.zeros(shape, dtype=np.uint8)
+        naive = self.mode == "naive"
+        for i in range(self.segment_bits):
+            diff = self._flip(a_planes[i] ^ rn_planes[i], "xor")
+            term = self._flip(a_planes[i] & diff, "and")
+            if naive:
+                # Flag AND is a sensed array op in the naive design.
+                term = self._flip(term & flag, "and")
+                flag = self._flip(flag & (1 - diff), "and")
+            else:
+                # Predicated sensing in the latch pair: ideal.
+                term = term & flag
+                flag = flag & (1 - diff)
+            gt = self._flip(gt | term, "or")
+        return gt
+
+    # ------------------------------------------------------------------
+    # SNG interface
+    # ------------------------------------------------------------------
+    def _codes(self, x) -> np.ndarray:
+        return quantize(np.asarray(x, dtype=np.float64), self.segment_bits)
+
+    def _book_conversions(self, count: int, length: int) -> None:
+        # Energy scales with the stream footprint (one bit per column).
+        unit = imsng_conversion_cost(self.segment_bits, self.mode, self.costs,
+                                     width=length)
+        # First conversion on the critical path, the rest pipelined.
+        self.ledger.merge(unit)
+        if count > 1:
+            self.ledger.merge(unit.scaled(count - 1), overlapped=True)
+
+    def generate(self, x, length: int) -> Bitstream:
+        """Independent SBS per element (fresh TRNG planes per element)."""
+        codes = np.atleast_1d(self._codes(x))
+        a = self._operand_planes(codes, length)
+        rn = self._trng_planes(codes.shape + (length,))
+        bits = self._gt_scan(a, rn)
+        self._book_conversions(int(codes.size), length)
+        shape = np.shape(x) + (length,) if np.shape(x) else (length,)
+        return Bitstream(bits.reshape(shape))
+
+    def generate_correlated(self, x, length: int) -> Bitstream:
+        """One shared TRNG draw across the whole batch (SCC = +1)."""
+        codes = np.atleast_1d(self._codes(x))
+        a = self._operand_planes(codes, length)
+        rn1 = self._trng_planes((length,))
+        rn1 = rn1.reshape((self.segment_bits,) + (1,) * codes.ndim + (length,))
+        rn = np.broadcast_to(rn1,
+                             (self.segment_bits,) + codes.shape + (length,))
+        bits = self._gt_scan(a, np.ascontiguousarray(rn))
+        self._book_conversions(int(codes.size), length)
+        shape = np.shape(x) + (length,) if np.shape(x) else (length,)
+        return Bitstream(bits.reshape(shape))
+
+    def generate_pair(self, x, y, length: int,
+                      correlated: bool) -> Tuple[Bitstream, Bitstream]:
+        """Operand pair with per-element correlation control."""
+        cx = np.atleast_1d(self._codes(x))
+        cy = np.atleast_1d(self._codes(y))
+        if cx.shape != cy.shape:
+            raise ValueError("operand batches must share a shape")
+        ax = self._operand_planes(cx, length)
+        ay = self._operand_planes(cy, length)
+        rnx = self._trng_planes(cx.shape + (length,))
+        rny = rnx if correlated else self._trng_planes(cy.shape + (length,))
+        bx = self._gt_scan(ax, rnx)
+        by = self._gt_scan(ay, rny)
+        self._book_conversions(2 * int(cx.size), length)
+        shape = np.shape(x) + (length,) if np.shape(x) else (length,)
+        return (Bitstream(bx.reshape(shape)), Bitstream(by.reshape(shape)))
+
+    # ------------------------------------------------------------------
+    # SC operations (faulty bulk-bitwise execution)
+    # ------------------------------------------------------------------
+    def _book_op(self, op: str, length: int, batch: int) -> None:
+        unit = sc_op_cost(op, length, self.costs, width=length)
+        self.ledger.merge(unit)
+        if batch > 1:
+            self.ledger.merge(unit.scaled(batch - 1), overlapped=True)
+
+    def _unary_batch(self, s: Bitstream) -> int:
+        return int(np.prod(s.batch_shape)) if s.batch_shape else 1
+
+    def multiply(self, x: Bitstream, y: Bitstream) -> Bitstream:
+        out = self._flip(scops.mul_and(x, y).bits, "and")
+        self._book_op("multiplication", x.length, self._unary_batch(x))
+        return Bitstream(out)
+
+    def scaled_add(self, x: Bitstream, y: Bitstream,
+                   r: Optional[Bitstream] = None) -> Bitstream:
+        if r is None:
+            r = self.generate(np.full(x.batch_shape or (1,), 0.5), x.length)
+            r = Bitstream(r.bits.reshape(x.bits.shape))
+        out = self._flip(scops.scaled_add_maj(x, y, r).bits, "maj3")
+        self._book_op("scaled_addition", x.length, self._unary_batch(x))
+        return Bitstream(out)
+
+    def approx_add(self, x: Bitstream, y: Bitstream) -> Bitstream:
+        out = self._flip(scops.add_or(x, y).bits, "or")
+        self._book_op("approx_addition", x.length, self._unary_batch(x))
+        return Bitstream(out)
+
+    def abs_subtract(self, x: Bitstream, y: Bitstream) -> Bitstream:
+        out = self._flip(scops.sub_xor(x, y).bits, "xor")
+        self._book_op("abs_subtraction", x.length, self._unary_batch(x))
+        return Bitstream(out)
+
+    def minimum(self, x: Bitstream, y: Bitstream) -> Bitstream:
+        out = self._flip(scops.min_and(x, y).bits, "and")
+        self._book_op("minimum", x.length, self._unary_batch(x))
+        return Bitstream(out)
+
+    def maximum(self, x: Bitstream, y: Bitstream) -> Bitstream:
+        out = self._flip(scops.max_or(x, y).bits, "or")
+        self._book_op("maximum", x.length, self._unary_batch(x))
+        return Bitstream(out)
+
+    def divide(self, x: Bitstream, y: Bitstream) -> Bitstream:
+        """CORDIV on the peripheral latches, one faulty step per bit."""
+        xb, yb = x.bits, y.bits
+        out = np.empty_like(xb)
+        state = np.zeros(xb.shape[:-1], dtype=np.uint8)
+        for i in range(x.length):
+            xi = self._flip(xb[..., i], "read")
+            yi = self._flip(yb[..., i], "read")
+            out_i = np.where(yi == 1, xi, state)
+            state = out_i
+            out[..., i] = out_i
+        self._book_op("division", x.length, self._unary_batch(x))
+        return Bitstream(out)
+
+    def maj(self, x: Bitstream, y: Bitstream, z: Bitstream) -> Bitstream:
+        out = self._flip(scops.scaled_add_maj(x, y, z).bits, "maj3")
+        self._book_op("scaled_addition", x.length, self._unary_batch(x))
+        return Bitstream(out)
+
+    def mux(self, sel: Bitstream, a: Bitstream, b: Bitstream) -> Bitstream:
+        """2-to-1 MUX as three scouting-logic steps: 2 ANDs + OR.
+
+        ``b`` when ``sel`` is 1.  Unlike the majority blend this is exact
+        for any operand ordering and correlation, at 3x the sensing cost
+        (and 3 fault sites instead of 1).
+        """
+        t1 = self._flip(sel.bits & b.bits, "and")
+        t2 = self._flip((1 - sel.bits) & a.bits, "and")
+        out = self._flip(t1 | t2, "or")
+        batch = self._unary_batch(a)
+        self._book_op("mux2", a.length, batch)
+        return Bitstream(out)
+
+    def op(self, name: str, x: Bitstream, y: Bitstream, **kw) -> Bitstream:
+        """Dispatch by Table II row name."""
+        table = {
+            "multiplication": self.multiply,
+            "scaled_addition": self.scaled_add,
+            "approx_addition": self.approx_add,
+            "abs_subtraction": self.abs_subtract,
+            "division": self.divide,
+            "minimum": self.minimum,
+            "maximum": self.maximum,
+        }
+        if name not in table:
+            raise ValueError(f"unknown op {name!r}")
+        return table[name](x, y, **kw)
+
+    # ------------------------------------------------------------------
+    # S-to-B
+    # ------------------------------------------------------------------
+    def to_binary(self, stream: Bitstream) -> np.ndarray:
+        """In-memory S-to-B: reference column + ADC (or ideal popcount)."""
+        n_vals = self._unary_batch(stream)
+        self.ledger.merge(stob_cost(n_vals, self.costs, stream.length))
+        if self.ideal_stob:
+            return stream.value()
+        return self._stob.convert(stream)
+
+    # Alias so the engine satisfies the converter protocol of ScFlow.
+    def convert(self, stream: Bitstream) -> np.ndarray:
+        return self.to_binary(stream)
+
+    def reset_ledger(self) -> None:
+        self.ledger = EnergyLedger()

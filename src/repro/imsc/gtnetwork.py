@@ -1,0 +1,85 @@
+"""The in-memory greater-than comparison network (Fig. 1b).
+
+To convert a true-random sequence into a stochastic bit-stream, the paper
+compares the n-bit operand ``A`` against each M-bit in-memory random number
+``RN`` with an MSB-first bitwise scan: at the first position where the two
+differ (``A_i XOR RN_i = 1``) the comparison resolves to ``A_i``.  The scan
+is expressed with a running *flag* bit ``FFlag`` ("all more-significant bits
+were equal so far"):
+
+.. code-block:: text
+
+    FFlag := 1; GT := 0
+    for i = MSB .. LSB:
+        diff_i  = A_i XOR RN_i
+        GT     |= A_i AND diff_i AND FFlag
+        FFlag  &= NOT diff_i
+
+Per bit position that is one XOR, two ANDs, one OR and one flag-AND — the
+"5n operations" of Sec. III-A.  :func:`build_gt_xag` constructs the network
+as a :class:`~repro.logic.xag.Xag` (the paper's representation for logic
+optimisation); :func:`gt_reference` provides the bit-parallel numpy oracle
+used in tests and in the vectorised engine.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from ..logic.xag import Xag
+
+__all__ = ["build_gt_xag", "gt_reference", "GT_OPS_PER_BIT"]
+
+# Sensing steps per bit position in the un-optimised network.
+GT_OPS_PER_BIT = 5
+
+
+def build_gt_xag(n_bits: int) -> Xag:
+    """Construct the MSB-first ``A > B`` comparator as a XAG.
+
+    Inputs are named ``a{i}`` and ``b{i}`` with ``i = n_bits-1`` the MSB;
+    the single output is named ``gt``.
+    """
+    if n_bits < 1:
+        raise ValueError("n_bits must be >= 1")
+    xag = Xag()
+    a = {i: xag.add_input(f"a{i}") for i in range(n_bits - 1, -1, -1)}
+    b = {i: xag.add_input(f"b{i}") for i in range(n_bits - 1, -1, -1)}
+    flag = xag.constant(True)
+    gt = xag.constant(False)
+    for i in range(n_bits - 1, -1, -1):
+        diff = xag.add_xor(a[i], b[i])
+        term = xag.add_and(xag.add_and(a[i], diff), flag)
+        gt = xag.add_or(gt, term)
+        flag = xag.add_and(flag, xag.add_not(diff))
+    xag.add_output(gt, "gt")
+    return xag
+
+
+def gt_reference(a_bits: np.ndarray, b_bits: np.ndarray) -> np.ndarray:
+    """Bit-parallel oracle for the comparison ``A > B``.
+
+    Parameters
+    ----------
+    a_bits, b_bits:
+        Bit-plane arrays of shape ``(n_bits, ...)`` with index 0 the MSB
+        (matching the row layout in the ReRAM array, Fig. 1a).
+
+    Returns
+    -------
+    uint8 array of the trailing shape: 1 where ``A > B``.
+    """
+    a = np.asarray(a_bits, dtype=np.uint8)
+    b = np.asarray(b_bits, dtype=np.uint8)
+    if a.shape != b.shape:
+        raise ValueError("operand bit-plane shapes differ")
+    n = a.shape[0]
+    flag = np.ones(a.shape[1:], dtype=np.uint8)
+    gt = np.zeros(a.shape[1:], dtype=np.uint8)
+    for i in range(n):
+        diff = a[i] ^ b[i]
+        gt |= a[i] & diff & flag
+        flag &= 1 - diff
+    return gt

@@ -1,0 +1,219 @@
+"""In-memory stochastic number generation (IMSNG) on the array model.
+
+Executes the greater-than network of :mod:`repro.imsc.gtnetwork` on an
+:class:`~repro.reram.controller.ArrayController` with the exact command
+structure of the paper's two design points:
+
+* **IMSNG-naive** — intermediate XOR results are forwarded through the
+  bitline-voltage feedback path, but the two running state rows (the GT
+  accumulator and the flag) are written back each bit position:
+  ``5n`` sensing steps + ``2n`` row writes per conversion.
+* **IMSNG-opt** — the flag bit lives in the L1 latch and the two ANDs that
+  involve it become predicated sensing; the GT accumulator rides in L0:
+  ``3n`` sensing steps + ``n`` latch cycles + one final row write of the
+  produced SBS.
+
+The array layout follows Fig. 1a: ``n`` rows of operand bit-planes (the
+operand bit is broadcast along the row), ``M`` rows of in-memory true-random
+bits (each *column* holds one M-bit random number, so one conversion yields
+one stream bit per column), two work rows and the SBS destination rows.
+
+Faults can be injected per sensing step at the derived scouting-logic rates,
+making this the bit-exact reference for the vectorised engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from ..core.encoding import quantize
+from ..core.sng import BitSource, IdealBitSource
+from ..reram.array import CrossbarArray
+from ..reram.controller import ArrayController, Command
+from ..reram.faults import BitFlipInjector, GateFaultRates
+
+__all__ = ["ImsngUnit", "ConversionResult"]
+
+
+@dataclass
+class ConversionResult:
+    """Output of one in-memory conversion."""
+
+    bits: np.ndarray                      # the produced SBS (one bit/column)
+    commands: List[Command]               # commands issued by the comparison
+    load_commands: List[Command]          # operand + random-fill commands
+
+
+class ImsngUnit:
+    """One mat performing in-memory SBS generation.
+
+    Parameters
+    ----------
+    n_bits:
+        Operand precision n (8 in the paper).
+    segment_bits:
+        Random-number width M (the paper sweeps 5..9).
+    width:
+        Columns per row = stream bits produced per conversion.
+    mode:
+        'naive' or 'opt' (see module docstring).
+    bit_source:
+        True-random bit supplier (e.g. :class:`repro.reram.trng.ReRamTrng`).
+    fault_rates:
+        Optional per-gate fault rates; ``None`` executes ideally.
+    """
+
+    def __init__(self, n_bits: int = 8, segment_bits: int = 8,
+                 width: int = 256, mode: str = "opt",
+                 bit_source: Optional[BitSource] = None,
+                 fault_rates: Optional[GateFaultRates] = None,
+                 rng: Union[np.random.Generator, int, None] = None):
+        if mode not in ("naive", "opt"):
+            raise ValueError("mode must be 'naive' or 'opt'")
+        self.n_bits = n_bits
+        self.segment_bits = segment_bits
+        self.width = width
+        self.mode = mode
+        self.bit_source = bit_source if bit_source is not None else IdealBitSource()
+        gen = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+        self._injector = (BitFlipInjector(fault_rates, gen)
+                          if fault_rates is not None else None)
+        rows = max(n_bits, segment_bits) + segment_bits + 4
+        array = CrossbarArray(rows, width, rng=gen)
+        regions = {
+            "a": max(n_bits, segment_bits),
+            "rn": segment_bits,
+            "work": 2,
+            "sbs": 2,
+        }
+        self.ctl = ArrayController(array, regions)
+
+    # ------------------------------------------------------------------
+    # Data staging
+    # ------------------------------------------------------------------
+    def load_operand(self, value: float) -> List[Command]:
+        """Broadcast the operand's M-bit code into the operand bit-planes.
+
+        Row ``a[0]`` holds the MSB.  Codes are on the M-bit comparison grid
+        (the comparator sees M random bits).
+        """
+        start = len(self.ctl.trace)
+        code = int(quantize(float(value), self.segment_bits))
+        m = self.segment_bits
+        for i in range(m):
+            bit = (code >> (m - 1 - i)) & 1
+            row = self.ctl.row("a", i)
+            self.ctl.write_row(row, np.full(self.width, bit, dtype=np.uint8))
+        return self.ctl.trace[start:]
+
+    def load_random(self) -> List[Command]:
+        """Fill the random region with fresh true-random bit-planes.
+
+        The paper treats the ReRAM TRNG as a single-step operation that
+        deposits random sequences directly into the array; each of the M
+        rows costs one row write.
+        """
+        start = len(self.ctl.trace)
+        for i in range(self.segment_bits):
+            bits = self.bit_source.random_bits(self.width)
+            self.ctl.write_row(self.ctl.row("rn", i), bits)
+        return self.ctl.trace[start:]
+
+    # ------------------------------------------------------------------
+    # Conversion
+    # ------------------------------------------------------------------
+    def _flip(self, bits: np.ndarray, gate: str) -> np.ndarray:
+        if self._injector is None:
+            return bits
+        return self._injector.inject(bits, gate)
+
+    def compare(self) -> ConversionResult:
+        """Run the greater-than scan over the staged operand and randoms."""
+        start = len(self.ctl.trace)
+        if self.mode == "naive":
+            bits = self._compare_naive()
+        else:
+            bits = self._compare_opt()
+        return ConversionResult(bits=bits,
+                                commands=self.ctl.trace[start:],
+                                load_commands=[])
+
+    def _row_bits(self, region: str, offset: int) -> np.ndarray:
+        return self.ctl.array.states[self.ctl.row(region, offset)].copy()
+
+    def _compare_naive(self) -> np.ndarray:
+        ctl = self.ctl
+        gt_row = ctl.row("work", 0)
+        flag_row = ctl.row("work", 1)
+        ctl.write_row(gt_row, np.zeros(self.width, dtype=np.uint8))
+        ctl.write_row(flag_row, np.ones(self.width, dtype=np.uint8))
+        for i in range(self.segment_bits):
+            a_i = self._row_bits("a", i)
+            rn_i = self._row_bits("rn", i)
+            diff = self._flip(ctl.sl_op("xor", [ctl.row("a", i),
+                                                ctl.row("rn", i)]), "xor")
+            # diff is forwarded through the feedback path; the AND with the
+            # operand row is still a sensing step on the array.
+            t = self._flip(a_i & diff, "and")
+            ctl.trace.append(Command("sl", gate="and",
+                                     rows=(ctl.row("a", i),),
+                                     cells=self.width))
+            t = self._flip(t & self._row_bits("work", 1), "and")
+            ctl.trace.append(Command("sl", gate="and", rows=(flag_row,),
+                                     cells=self.width))
+            gt = self._flip(self._row_bits("work", 0) | t, "or")
+            ctl.trace.append(Command("sl", gate="or", rows=(gt_row,),
+                                     cells=self.width))
+            ctl.write_row(gt_row, gt)
+            flag = self._flip(self._row_bits("work", 1) & (1 - diff), "and")
+            ctl.trace.append(Command("sl", gate="and", rows=(flag_row,),
+                                     cells=self.width))
+            ctl.write_row(flag_row, flag)
+        return self._row_bits("work", 0)
+
+    def _compare_opt(self) -> np.ndarray:
+        ctl = self.ctl
+        latch = ctl.latches
+        latch.load_data(np.zeros(self.width, dtype=np.uint8))   # GT in L0
+        latch.load_flag(np.ones(self.width, dtype=np.uint8))    # FFlag in L1
+        for i in range(self.segment_bits):
+            a_i = self._row_bits("a", i)
+            diff = self._flip(ctl.sl_op("xor", [ctl.row("a", i),
+                                                ctl.row("rn", i)]), "xor")
+            t = self._flip(a_i & diff, "and")
+            ctl.trace.append(Command("sl", gate="and",
+                                     rows=(ctl.row("a", i),),
+                                     cells=self.width))
+            # Predicated sensing: AND with the flag happens inside the
+            # latch pair — no array access, no fault site.
+            t = t & latch.flag
+            latch.update_flag_and_not(diff)
+            ctl.latch_op()
+            gt = self._flip(latch.data | t, "or")
+            ctl.trace.append(Command("sl", gate="or", rows=(), cells=self.width))
+            latch.load_data(gt)
+        # One write drains the accumulated SBS from L0 into the SBS region.
+        ctl.write_row(ctl.row("sbs", 0), latch.data)
+        return latch.data.copy()
+
+    def convert(self, value: float) -> ConversionResult:
+        """Full conversion: stage operand + randoms, then compare."""
+        load = []
+        load.extend(self.load_operand(value))
+        load.extend(self.load_random())
+        result = self.compare()
+        return ConversionResult(bits=result.bits, commands=result.commands,
+                                load_commands=load)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def expected_counts(self) -> Dict[str, int]:
+        """Closed-form command counts for one comparison (Sec. III-A)."""
+        m = self.segment_bits
+        if self.mode == "naive":
+            return {"sense": 5 * m, "write": 2 * m + 2, "latch": 0}
+        return {"sense": 3 * m, "write": 1, "latch": m}

@@ -1,0 +1,185 @@
+"""Mapping SC dataflow graphs onto mats, banks and traces.
+
+The paper executes its flows on "multiple arrays to parallelize and
+pipeline the different stages".  This module provides the compiler-ish
+layer a user needs to do the same: describe an SC computation as a small
+dataflow program, let the mapper assign stream rows to mats and stages to
+banks, and obtain (a) a row-allocation report and (b) a
+:class:`~repro.energy.nvmain.TraceRequest` stream for the NVMain-style
+simulator.
+
+Program model
+-------------
+A :class:`ScProgram` is a list of statements over named streams:
+
+* ``convert(dst, operand)``      — IMSNG conversion of a binary operand;
+* ``op(kind, dst, srcs)``        — bulk-bitwise SC op (and/or/xor/maj3/mux);
+* ``divide(dst, num, den)``      — CORDIV recurrence;
+* ``to_binary(src)``             — reference-column + ADC read-out.
+
+The mapper is deliberately simple — greedy row allocation, round-robin
+conversion banks, one compute bank — but it is deterministic and fully
+tested, and its output traces reproduce the pipelining behaviour the cost
+model assumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..energy.nvmain import TraceRequest
+from ..energy.traces import imsng_trace
+
+__all__ = ["Statement", "ScProgram", "MatMapping", "map_program"]
+
+_SINGLE_CYCLE_OPS = ("and", "or", "xor", "xnor", "nand", "nor", "maj3")
+
+
+@dataclass(frozen=True)
+class Statement:
+    """One dataflow statement."""
+
+    kind: str                      # 'convert' | 'op' | 'divide' | 'readout'
+    dst: Optional[str] = None
+    srcs: Tuple[str, ...] = ()
+    op: Optional[str] = None       # gate for 'op' statements
+
+
+class ScProgram:
+    """A small SC dataflow program builder."""
+
+    def __init__(self, length: int = 256, operand_bits: int = 8):
+        if length < 1:
+            raise ValueError("length must be >= 1")
+        self.length = length
+        self.operand_bits = operand_bits
+        self.statements: List[Statement] = []
+        self._defined: set = set()
+
+    def _define(self, name: str) -> None:
+        if name in self._defined:
+            raise ValueError(f"stream {name!r} already defined")
+        self._defined.add(name)
+
+    def _use(self, *names: str) -> None:
+        for n in names:
+            if n not in self._defined:
+                raise ValueError(f"stream {n!r} used before definition")
+
+    def convert(self, dst: str) -> "ScProgram":
+        """IMSNG-convert a binary operand into stream ``dst``."""
+        self._define(dst)
+        self.statements.append(Statement("convert", dst=dst))
+        return self
+
+    def op(self, kind: str, dst: str, *srcs: str) -> "ScProgram":
+        """Bulk-bitwise SC operation producing ``dst`` from ``srcs``."""
+        if kind not in _SINGLE_CYCLE_OPS and kind != "mux":
+            raise ValueError(f"unknown op kind {kind!r}")
+        arity = {"maj3": 3, "mux": 3}.get(kind, 2)
+        if kind == "not":
+            arity = 1
+        if len(srcs) != arity:
+            raise ValueError(f"{kind} takes {arity} sources, got {len(srcs)}")
+        self._use(*srcs)
+        self._define(dst)
+        self.statements.append(Statement("op", dst=dst, srcs=srcs, op=kind))
+        return self
+
+    def divide(self, dst: str, num: str, den: str) -> "ScProgram":
+        """CORDIV division producing ``dst``."""
+        self._use(num, den)
+        self._define(dst)
+        self.statements.append(Statement("divide", dst=dst, srcs=(num, den)))
+        return self
+
+    def to_binary(self, src: str) -> "ScProgram":
+        """Read out ``src`` through the reference column + ADC."""
+        self._use(src)
+        self.statements.append(Statement("readout", srcs=(src,)))
+        return self
+
+    @property
+    def streams(self) -> List[str]:
+        return sorted(self._defined)
+
+
+@dataclass
+class MatMapping:
+    """Result of mapping a program onto the memory organisation."""
+
+    rows: Dict[str, Tuple[int, int]]       # stream -> (bank, row)
+    trace: List[TraceRequest]
+    rows_per_mat: int
+    n_banks: int
+
+    def rows_used(self, bank: int) -> int:
+        return sum(1 for (b, _r) in self.rows.values() if b == bank)
+
+
+def map_program(program: ScProgram, n_banks: int = 4,
+                rows_per_mat: int = 64,
+                width: int = 256) -> MatMapping:
+    """Greedily map a program onto banks and emit its memory trace.
+
+    Conversions round-robin over the first ``n_banks - 1`` banks (they
+    pipeline); compute statements run on the last bank, with cross-bank
+    dependencies serialising producer/consumer pairs.  Every produced
+    stream gets one row; the mapper raises if a bank runs out of rows.
+    """
+    if n_banks < 2:
+        raise ValueError("need at least 2 banks (conversion + compute)")
+    rows: Dict[str, Tuple[int, int]] = {}
+    next_row = [0] * n_banks
+    trace: List[TraceRequest] = []
+    # Index of the trace entry that produced each stream.
+    producer: Dict[str, int] = {}
+    compute_bank = n_banks - 1
+    conv_i = 0
+
+    def alloc(name: str, bank: int) -> None:
+        if next_row[bank] >= rows_per_mat:
+            raise ValueError(
+                f"bank {bank} out of rows mapping stream {name!r}")
+        rows[name] = (bank, next_row[bank])
+        next_row[bank] += 1
+
+    for stmt in program.statements:
+        if stmt.kind == "convert":
+            bank = conv_i % (n_banks - 1)
+            conv_i += 1
+            sub = imsng_trace(program.operand_bits, "opt", bank, width)
+            trace.extend(sub)
+            alloc(stmt.dst, bank)
+            producer[stmt.dst] = len(trace) - 1
+        elif stmt.kind == "op":
+            dep = max((producer[s] for s in stmt.srcs),
+                      default=None)
+            steps = 3 if stmt.op == "mux" else 1
+            for k in range(steps):
+                trace.append(TraceRequest(compute_bank, "sense", width,
+                                          dep if k == 0 else None,
+                                          stmt.op or ""))
+                dep = None
+            alloc(stmt.dst, compute_bank)
+            producer[stmt.dst] = len(trace) - 1
+        elif stmt.kind == "divide":
+            dep = max(producer[s] for s in stmt.srcs)
+            for k in range(program.length):
+                trace.append(TraceRequest(compute_bank, "sense", width,
+                                          dep if k == 0 else None, "div"))
+                dep = None
+                trace.append(TraceRequest(compute_bank, "latch", width,
+                                          tag="jk"))
+            alloc(stmt.dst, compute_bank)
+            producer[stmt.dst] = len(trace) - 1
+        elif stmt.kind == "readout":
+            dep = producer[stmt.srcs[0]]
+            trace.append(TraceRequest(compute_bank, "sense", 1, dep,
+                                      "refcol"))
+            trace.append(TraceRequest(compute_bank, "adc", 1, tag="adc"))
+        else:   # pragma: no cover - builder prevents this
+            raise ValueError(f"unknown statement kind {stmt.kind!r}")
+    return MatMapping(rows=rows, trace=trace, rows_per_mat=rows_per_mat,
+                      n_banks=n_banks)

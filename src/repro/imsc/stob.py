@@ -1,0 +1,82 @@
+"""In-memory stochastic-to-binary conversion (Sec. III-C).
+
+Instead of clocking a CMOS counter for N cycles, the paper counts the '1's
+of an output bit-stream in a single step: the stream drives per-row voltages
+onto a *reference column* whose cells are all pre-programmed to LRS; the
+accumulated bitline current is proportional to the popcount and is digitised
+by the per-mat 8-bit ADC.
+
+The model samples per-cell LRS conductances (with read noise) so the analog
+count inherits device variability, then pushes the current through the
+:class:`~repro.reram.adc.Adc`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from ..core.bitstream import Bitstream
+from ..reram.adc import Adc, AdcParams, ISAAC_ADC
+from ..reram.device import DEFAULT_DEVICE, DeviceParams
+
+__all__ = ["InMemoryStoB"]
+
+
+class InMemoryStoB:
+    """Reference-column + ADC stochastic-to-binary converter.
+
+    Parameters
+    ----------
+    params:
+        Device model supplying LRS statistics and the read voltage.
+    adc_params:
+        ADC characteristics (defaults to the ISAAC-style 8-bit SAR).
+    ideal_cells:
+        If True, reference cells are noiseless (isolates ADC effects).
+    """
+
+    def __init__(self, params: DeviceParams = DEFAULT_DEVICE,
+                 adc_params: AdcParams = ISAAC_ADC,
+                 ideal_cells: bool = False,
+                 rng: Union[np.random.Generator, int, None] = None):
+        self.params = params
+        self.ideal_cells = ideal_cells
+        self._gen = (rng if isinstance(rng, np.random.Generator)
+                     else np.random.default_rng(rng))
+        self._adc_params = adc_params
+        self._adc: Optional[Adc] = None
+        self._adc_length = -1
+
+    def _adc_for(self, length: int) -> Adc:
+        if self._adc is None or self._adc_length != length:
+            full_scale = length * self.params.read_voltage * self.params.g_lrs
+            self._adc = Adc(self._adc_params, full_scale, self._gen)
+            self._adc_length = length
+        return self._adc
+
+    def column_current(self, stream: Bitstream) -> np.ndarray:
+        """Accumulated reference-column current per stream (amperes)."""
+        bits = stream.bits.astype(np.float64)
+        v = self.params.read_voltage
+        if self.ideal_cells:
+            g = self.params.g_lrs
+            return v * g * bits.sum(axis=-1)
+        # Per-cell programmed conductance (LRS lognormal) plus read noise.
+        ln_g = -np.log(self.params.lrs_mean)
+        sigma = np.sqrt(self.params.lrs_sigma ** 2
+                        + self.params.read_noise_sigma ** 2)
+        g = np.exp(self._gen.normal(ln_g, sigma, bits.shape))
+        return v * np.sum(bits * g, axis=-1)
+
+    def convert(self, stream: Bitstream) -> np.ndarray:
+        """Recovered probabilities in ``[0, 1]`` (one per stream)."""
+        adc = self._adc_for(stream.length)
+        current = self.column_current(stream)
+        return adc.to_fraction(current)
+
+    @property
+    def conversions(self) -> int:
+        """ADC conversions performed so far (for cost accounting)."""
+        return 0 if self._adc is None else self._adc.conversions

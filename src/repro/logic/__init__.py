@@ -1,0 +1,9 @@
+"""Logic synthesis: XOR-AND-inverter graphs and scouting-logic mapping."""
+
+from .xag import LIT_FALSE, LIT_TRUE, Xag
+from .synthesis import ScheduleStep, SlSchedule, map_to_scouting
+
+__all__ = [
+    "LIT_FALSE", "LIT_TRUE", "Xag",
+    "ScheduleStep", "SlSchedule", "map_to_scouting",
+]

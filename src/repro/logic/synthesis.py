@@ -1,0 +1,141 @@
+"""Mapping XAGs onto scouting-logic operation schedules.
+
+Scouting logic executes one 2-input AND/OR/XOR (or 3-input MAJ) per sensing
+step, but operands must be physically present — either stored in array rows
+or forwarded through the periphery.  A schedule therefore interleaves:
+
+* ``sense`` steps — one per logic gate (cf. the paper: "implementing this
+  network requires 5n operations, as each logic gate requires one sensing
+  step");
+* ``write`` steps — programming an intermediate result back into a work row
+  so a later gate can sense it;
+* ``latch`` steps — periphery-only moves (feedback/predication) that replace
+  writes in the optimised mappings.
+
+Three mapping strategies mirror the paper's design points:
+
+=================  ===========================================================
+``baseline``       every intermediate result is written back (stateful-logic
+                   style; 1 write per gate)
+``feedback``       a gate's single consumer can receive the value through the
+                   bitline-voltage feedback path, eliminating the write when
+                   the consumer is the *next* scheduled gate (IMSNG-naive)
+``latch``          fan-out-1 values ride in the L0/L1 latches; only values
+                   with fan-out > 1 or outputs are written (IMSNG-opt)
+=================  ===========================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Literal, Tuple
+
+from .xag import Xag
+
+__all__ = ["ScheduleStep", "SlSchedule", "map_to_scouting"]
+
+Strategy = Literal["baseline", "feedback", "latch"]
+
+
+@dataclass(frozen=True)
+class ScheduleStep:
+    """One step of a scouting-logic schedule."""
+
+    kind: str          # 'sense' | 'write' | 'latch'
+    gate: str = ""     # for sense steps: 'and' | 'xor' | ...
+    node: int = -1     # producing XAG node (sense/write), -1 otherwise
+
+
+@dataclass
+class SlSchedule:
+    """A scouting-logic execution schedule with cost summary."""
+
+    steps: List[ScheduleStep] = field(default_factory=list)
+
+    @property
+    def senses(self) -> int:
+        return sum(1 for s in self.steps if s.kind == "sense")
+
+    @property
+    def writes(self) -> int:
+        return sum(1 for s in self.steps if s.kind == "write")
+
+    @property
+    def latch_ops(self) -> int:
+        return sum(1 for s in self.steps if s.kind == "latch")
+
+    def counts(self) -> Dict[str, int]:
+        return {"sense": self.senses, "write": self.writes,
+                "latch": self.latch_ops}
+
+    def latency(self, t_sense: float, t_write: float,
+                t_latch: float = 0.0) -> float:
+        """Total schedule latency for the given step times (seconds)."""
+        return (self.senses * t_sense + self.writes * t_write
+                + self.latch_ops * t_latch)
+
+    def energy(self, e_sense: float, e_write: float,
+               e_latch: float = 0.0) -> float:
+        """Total schedule energy for the given per-step energies (joules)."""
+        return (self.senses * e_sense + self.writes * e_write
+                + self.latch_ops * e_latch)
+
+
+def _fanout_counts(xag: Xag) -> Dict[int, int]:
+    fanout: Dict[int, int] = {}
+    for _, gate in xag.topological_gates():
+        for lit in (gate.a, gate.b):
+            node = lit >> 1
+            fanout[node] = fanout.get(node, 0) + 1
+    for lit in xag._outputs:  # noqa: SLF001 - synthesis is a friend module
+        node = lit >> 1
+        fanout[node] = fanout.get(node, 0) + 1
+    return fanout
+
+
+def map_to_scouting(xag: Xag, strategy: Strategy = "latch") -> SlSchedule:
+    """Compile a XAG into a scouting-logic schedule.
+
+    The gate order follows the XAG's topological construction order (a fair
+    model of the paper's bit-serial MSB-to-LSB comparison network).  Inverted
+    edges are free: the sense amplifier provides complemented outputs and
+    scouting logic natively senses NAND/NOR/XNOR.
+    """
+    if strategy not in ("baseline", "feedback", "latch"):
+        raise ValueError(f"unknown strategy {strategy!r}")
+    fanout = _fanout_counts(xag)
+    gates = xag.topological_gates()
+    sched = SlSchedule()
+    for pos, (node, gate) in enumerate(gates):
+        sched.steps.append(ScheduleStep("sense", gate=gate.kind, node=node))
+        is_output = any((lit >> 1) == node for lit in xag._outputs)  # noqa: SLF001
+        n_consumers = fanout.get(node, 0)
+        if strategy == "baseline":
+            sched.steps.append(ScheduleStep("write", node=node))
+            continue
+        if strategy == "feedback":
+            # The feedback path holds exactly one value for the immediately
+            # following sense step; any other consumer needs the value in a
+            # row.
+            next_consumes = (
+                pos + 1 < len(gates)
+                and node in ((gates[pos + 1][1].a >> 1),
+                             (gates[pos + 1][1].b >> 1))
+                and n_consumers == 1
+                and not is_output
+            )
+            if next_consumes:
+                sched.steps.append(ScheduleStep("latch", node=node))
+            else:
+                sched.steps.append(ScheduleStep("write", node=node))
+            continue
+        # strategy == "latch": values live in the L0/L1 latch pair as long
+        # as fan-out permits; only multi-consumer values and outputs that
+        # must persist in the array are written.
+        if is_output:
+            sched.steps.append(ScheduleStep("write", node=node))
+        elif n_consumers > 1:
+            sched.steps.append(ScheduleStep("write", node=node))
+        else:
+            sched.steps.append(ScheduleStep("latch", node=node))
+    return sched

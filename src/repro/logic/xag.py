@@ -1,0 +1,248 @@
+"""XOR-AND-inverter graphs (XAGs).
+
+The paper converts the in-memory greater-than network of Fig. 1b "into data
+structures like XOR-AND-Inverter graph (XAG) for manipulation and
+optimization using logic synthesis tools".  This module provides that data
+structure: a DAG whose internal nodes are 2-input AND and XOR gates and
+whose edges may carry inverters (complemented literals), in the style of the
+EPFL logic-synthesis libraries (mockturtle).
+
+Features:
+
+* structural hashing — identical gates are created once;
+* constant folding and local simplification at construction time
+  (``x & 0 = 0``, ``x ^ x = 0``, ``x & x = x``, complement absorption);
+* vectorised evaluation over numpy arrays (one simulation pattern per
+  element);
+* gate/level statistics, the inputs to the scouting-logic cost model.
+
+A *literal* is an integer ``2 * node_index + complement_bit`` — the packed
+representation standard in AIG/XAG packages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["Xag", "LIT_FALSE", "LIT_TRUE"]
+
+LIT_FALSE = 0  # constant-0 node (index 0), uncomplemented
+LIT_TRUE = 1   # constant-0 node complemented
+
+
+def _lit(node: int, complement: bool = False) -> int:
+    return (node << 1) | int(complement)
+
+
+def _node_of(lit: int) -> int:
+    return lit >> 1
+
+
+def _is_complemented(lit: int) -> bool:
+    return bool(lit & 1)
+
+
+@dataclass(frozen=True)
+class _Gate:
+    kind: str          # 'and' | 'xor'
+    a: int             # fan-in literal
+    b: int             # fan-in literal
+
+
+class Xag:
+    """A XOR-AND-inverter graph with structural hashing.
+
+    Node 0 is the constant-0 node.  Primary inputs are added with
+    :meth:`add_input`; gates with :meth:`add_and` / :meth:`add_xor`, which
+    return output *literals* usable as further fan-ins.  Mark outputs with
+    :meth:`add_output`.
+    """
+
+    def __init__(self):
+        self._gates: List[Optional[_Gate]] = [None]  # node 0 = const-0
+        self._input_names: List[str] = []
+        self._input_nodes: List[int] = []
+        self._outputs: List[int] = []
+        self._output_names: List[str] = []
+        self._strash: Dict[Tuple[str, int, int], int] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_input(self, name: Optional[str] = None) -> int:
+        """Create a primary input; returns its (positive) literal."""
+        node = len(self._gates)
+        self._gates.append(None)
+        self._input_nodes.append(node)
+        self._input_names.append(name or f"x{len(self._input_names)}")
+        return _lit(node)
+
+    def constant(self, value: bool) -> int:
+        return LIT_TRUE if value else LIT_FALSE
+
+    def _add_gate(self, kind: str, a: int, b: int) -> int:
+        # Normalise operand order for hashing (both gates are commutative).
+        if a > b:
+            a, b = b, a
+        key = (kind, a, b)
+        if key in self._strash:
+            return _lit(self._strash[key])
+        node = len(self._gates)
+        self._gates.append(_Gate(kind, a, b))
+        self._strash[key] = node
+        return _lit(node)
+
+    def add_and(self, a: int, b: int) -> int:
+        """AND gate with local simplification; returns the output literal."""
+        self._check_lit(a)
+        self._check_lit(b)
+        if a == LIT_FALSE or b == LIT_FALSE:
+            return LIT_FALSE
+        if a == LIT_TRUE:
+            return b
+        if b == LIT_TRUE:
+            return a
+        if a == b:
+            return a
+        if a == (b ^ 1):  # x & ~x
+            return LIT_FALSE
+        return self._add_gate("and", a, b)
+
+    def add_xor(self, a: int, b: int) -> int:
+        """XOR gate with local simplification; returns the output literal.
+
+        Complements are pushed out of the gate (``~a ^ b = ~(a ^ b)``) so the
+        stored gate always has uncomplemented semantics, maximising
+        structural sharing.
+        """
+        self._check_lit(a)
+        self._check_lit(b)
+        # Push complement flags out of the operands.
+        comp = _is_complemented(a) ^ _is_complemented(b)
+        a &= ~1
+        b &= ~1
+        if a == b:
+            return LIT_TRUE if comp else LIT_FALSE
+        if a == LIT_FALSE:
+            return b | int(comp)
+        if b == LIT_FALSE:
+            return a | int(comp)
+        return self._add_gate("xor", a, b) | int(comp)
+
+    def add_or(self, a: int, b: int) -> int:
+        """OR via De Morgan (``a | b = ~(~a & ~b)``)."""
+        return self.add_and(a ^ 1, b ^ 1) ^ 1
+
+    def add_not(self, a: int) -> int:
+        self._check_lit(a)
+        return a ^ 1
+
+    def add_maj(self, a: int, b: int, c: int) -> int:
+        """3-input majority decomposed into XAG primitives.
+
+        ``MAJ(a,b,c) = (a & b) | (c & (a ^ b))`` — 3 ANDs + 1 XOR after the
+        OR decomposition, with sharing handled by the strash.
+        """
+        ab = self.add_and(a, b)
+        axb = self.add_xor(a, b)
+        cab = self.add_and(c, axb)
+        return self.add_or(ab, cab)
+
+    def add_mux(self, sel: int, a: int, b: int) -> int:
+        """2-to-1 MUX (``b`` when ``sel``): ``a ^ (sel & (a ^ b))``."""
+        return self.add_xor(a, self.add_and(sel, self.add_xor(a, b)))
+
+    def add_output(self, lit: int, name: Optional[str] = None) -> None:
+        self._check_lit(lit)
+        self._outputs.append(lit)
+        self._output_names.append(name or f"y{len(self._outputs) - 1}")
+
+    def _check_lit(self, lit: int) -> None:
+        if not 0 <= _node_of(lit) < len(self._gates):
+            raise ValueError(f"literal {lit} references unknown node")
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def num_inputs(self) -> int:
+        return len(self._input_nodes)
+
+    @property
+    def num_outputs(self) -> int:
+        return len(self._outputs)
+
+    @property
+    def num_gates(self) -> int:
+        return sum(1 for g in self._gates if g is not None)
+
+    def gate_counts(self) -> Dict[str, int]:
+        """Gate population by kind, plus edge-inverter count."""
+        counts = {"and": 0, "xor": 0, "inverted_edges": 0}
+        for g in self._gates:
+            if g is None:
+                continue
+            counts[g.kind] += 1
+            counts["inverted_edges"] += int(_is_complemented(g.a))
+            counts["inverted_edges"] += int(_is_complemented(g.b))
+        counts["inverted_edges"] += sum(
+            int(_is_complemented(o)) for o in self._outputs)
+        return counts
+
+    def levels(self) -> int:
+        """Logic depth (levels of gates on the longest PI-to-PO path)."""
+        depth = [0] * len(self._gates)
+        for node, g in enumerate(self._gates):
+            if g is not None:
+                depth[node] = 1 + max(depth[_node_of(g.a)], depth[_node_of(g.b)])
+        if not self._outputs:
+            return 0
+        return max(depth[_node_of(o)] for o in self._outputs)
+
+    def topological_gates(self) -> List[Tuple[int, _Gate]]:
+        """Gates in index order (construction order is topological)."""
+        return [(n, g) for n, g in enumerate(self._gates) if g is not None]
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def evaluate(self, inputs: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
+        """Simulate the network on vectors of 0/1 values.
+
+        Parameters
+        ----------
+        inputs:
+            Maps input names to equally shaped 0/1 arrays (or scalars).
+
+        Returns
+        -------
+        Mapping from output names to result arrays.
+        """
+        missing = [n for n in self._input_names if n not in inputs]
+        if missing:
+            raise KeyError(f"missing input values: {missing}")
+        shapes = [np.shape(np.asarray(inputs[n])) for n in self._input_names]
+        shape = shapes[0] if shapes else ()
+        values: List[np.ndarray] = [np.zeros(shape, dtype=np.uint8)
+                                    for _ in self._gates]
+        for name, node in zip(self._input_names, self._input_nodes):
+            arr = np.asarray(inputs[name], dtype=np.uint8)
+            if arr.shape != shape:
+                raise ValueError("all inputs must share one shape")
+            values[node] = arr
+        for node, g in self.topological_gates():
+            a = values[_node_of(g.a)] ^ int(_is_complemented(g.a))
+            b = values[_node_of(g.b)] ^ int(_is_complemented(g.b))
+            values[node] = (a & b) if g.kind == "and" else (a ^ b)
+        out: Dict[str, np.ndarray] = {}
+        for lit, name in zip(self._outputs, self._output_names):
+            out[name] = values[_node_of(lit)] ^ int(_is_complemented(lit))
+        return out
+
+    def __repr__(self) -> str:
+        c = self.gate_counts()
+        return (f"Xag(inputs={self.num_inputs}, outputs={self.num_outputs}, "
+                f"and={c['and']}, xor={c['xor']}, levels={self.levels()})")

@@ -1,0 +1,29 @@
+"""Behavioural ReRAM substrate: device, array, scouting logic, TRNG, ADC."""
+
+from .device import DEFAULT_DEVICE, DeviceParams, ReRamDevice
+from .array import ArrayStats, CrossbarArray
+from .periphery import LatchPair, SenseAmp, WriteDriver
+from .scouting import SL_GATES, ScoutingLogic
+from .trng import ReRamTrng, WriteTrng, bit_statistics, von_neumann_debias
+from .adc import Adc, AdcParams, ISAAC_ADC
+from .faults import (
+    BitFlipInjector,
+    DEFAULT_FAULT_RATES,
+    GateFaultRates,
+    derive_fault_rates,
+)
+from .controller import ArrayController, Command, RowRegion
+from .wear import RotatingRowAllocator, WearReport, wear_report
+
+__all__ = [
+    "DEFAULT_DEVICE", "DeviceParams", "ReRamDevice",
+    "ArrayStats", "CrossbarArray",
+    "LatchPair", "SenseAmp", "WriteDriver",
+    "SL_GATES", "ScoutingLogic",
+    "ReRamTrng", "WriteTrng", "bit_statistics", "von_neumann_debias",
+    "Adc", "AdcParams", "ISAAC_ADC",
+    "BitFlipInjector", "DEFAULT_FAULT_RATES", "GateFaultRates",
+    "derive_fault_rates",
+    "ArrayController", "Command", "RowRegion",
+    "RotatingRowAllocator", "WearReport", "wear_report",
+]

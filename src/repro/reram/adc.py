@@ -1,0 +1,93 @@
+"""ADC model for in-memory stochastic-to-binary conversion.
+
+The paper digitises the accumulated reference-column current with a single
+8-bit SAR ADC per mat, citing the ISAAC accelerator's ADC design [37].  The
+model captures the three effects that matter to application quality and cost:
+
+* finite resolution (quantisation over the configured full-scale current);
+* input-referred noise and static offset/gain error;
+* per-conversion latency and energy for the cost model (ISAAC's 8-bit ADC:
+  1.28 GS/s shared across columns; ~2 pJ per conversion at 32 nm).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+import numpy as np
+
+__all__ = ["AdcParams", "Adc", "ISAAC_ADC"]
+
+
+@dataclass(frozen=True)
+class AdcParams:
+    """Static ADC characteristics."""
+
+    bits: int = 8
+    noise_sigma_lsb: float = 0.3
+    offset_lsb: float = 0.0
+    gain_error: float = 0.0
+    t_conversion_s: float = 0.78e-9   # 1.28 GS/s SAR (ISAAC)
+    e_conversion_j: float = 2.0e-12   # ~2 pJ per 8-bit conversion
+
+    @property
+    def levels(self) -> int:
+        return (1 << self.bits) - 1
+
+
+ISAAC_ADC = AdcParams()
+
+
+class Adc:
+    """Samples currents into digital codes.
+
+    Parameters
+    ----------
+    params:
+        Static characteristics.
+    full_scale:
+        Current mapped to the top code.  For S-to-B conversion this is the
+        nominal current of ``N`` LRS cells driven at the read voltage, so a
+        full-count stream lands on the top code.
+    """
+
+    def __init__(self, params: AdcParams = ISAAC_ADC, full_scale: float = 1.0,
+                 rng: Union[np.random.Generator, int, None] = None):
+        if full_scale <= 0:
+            raise ValueError("full_scale must be positive")
+        self.params = params
+        self.full_scale = full_scale
+        self._gen = (rng if isinstance(rng, np.random.Generator)
+                     else np.random.default_rng(rng))
+        self.conversions = 0
+
+    def sample(self, currents: Union[float, np.ndarray]) -> np.ndarray:
+        """Convert current(s) to integer codes in ``[0, 2**bits - 1]``.
+
+        Scalar input yields a scalar code; array input preserves shape.
+        """
+        scalar = np.ndim(currents) == 0
+        i = np.atleast_1d(np.asarray(currents, dtype=np.float64))
+        self.conversions += i.size
+        p = self.params
+        lsb = self.full_scale / p.levels
+        x = i * (1.0 + p.gain_error) / lsb + p.offset_lsb
+        if p.noise_sigma_lsb > 0:
+            x = x + self._gen.normal(0.0, p.noise_sigma_lsb, x.shape)
+        codes = np.clip(np.rint(x), 0, p.levels).astype(np.int64)
+        return codes[0] if scalar else codes
+
+    def to_fraction(self, currents: Union[float, np.ndarray]) -> np.ndarray:
+        """Codes scaled to ``[0, 1]`` (the recovered probability)."""
+        return self.sample(currents) / float(self.params.levels)
+
+    @property
+    def total_latency_s(self) -> float:
+        """Cumulative conversion time so far."""
+        return self.conversions * self.params.t_conversion_s
+
+    @property
+    def total_energy_j(self) -> float:
+        """Cumulative conversion energy so far."""
+        return self.conversions * self.params.e_conversion_j

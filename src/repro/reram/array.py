@@ -1,0 +1,196 @@
+"""1T1R ReRAM crossbar array model.
+
+The array stores logic states in a 2-D grid of cells (wordlines x bitlines,
+Fig. 1a of the paper).  Each cell's programmed resistance is drawn from the
+device model at write time and redrawn on every reprogramming event, so
+cycle-to-cycle variability is captured.  Reads apply read noise on top.
+
+The array tracks operation statistics (row reads, row writes, multi-row
+sensing activations and per-cell write counts) that the energy model and the
+endurance analysis consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional, Sequence, Union
+
+import numpy as np
+
+from .device import DEFAULT_DEVICE, DeviceParams, ReRamDevice
+
+__all__ = ["ArrayStats", "CrossbarArray"]
+
+
+@dataclass
+class ArrayStats:
+    """Operation counters for one crossbar array."""
+
+    row_reads: int = 0
+    row_writes: int = 0
+    multi_row_activations: int = 0
+    cells_written: int = 0
+
+    def merged(self, other: "ArrayStats") -> "ArrayStats":
+        return ArrayStats(
+            row_reads=self.row_reads + other.row_reads,
+            row_writes=self.row_writes + other.row_writes,
+            multi_row_activations=self.multi_row_activations
+            + other.multi_row_activations,
+            cells_written=self.cells_written + other.cells_written,
+        )
+
+
+class CrossbarArray:
+    """A rows x cols 1T1R array with per-cell sampled resistances.
+
+    Parameters
+    ----------
+    rows, cols:
+        Array geometry.  The paper's mats are 256-column rows; bit-streams
+        are laid out one per row (one bit per column) so bulk-bitwise logic
+        operates on whole streams at once.
+    device:
+        Cell model supplying resistance distributions and read noise.
+    rng:
+        Generator (or seed) for all stochastic behaviour of this array.
+    """
+
+    def __init__(self, rows: int, cols: int,
+                 device: Optional[ReRamDevice] = None,
+                 params: DeviceParams = DEFAULT_DEVICE,
+                 rng: Union[np.random.Generator, int, None] = None):
+        if rows < 1 or cols < 1:
+            raise ValueError("array dimensions must be positive")
+        gen = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+        self.rows = rows
+        self.cols = cols
+        self.device = device if device is not None else ReRamDevice(params, gen)
+        self._states = np.zeros((rows, cols), dtype=np.uint8)
+        self._resistance = self.device.sample_resistance(self._states)
+        self._write_counts = np.zeros((rows, cols), dtype=np.int64)
+        self.stats = ArrayStats()
+
+    # ------------------------------------------------------------------
+    # Data access
+    # ------------------------------------------------------------------
+    @property
+    def states(self) -> np.ndarray:
+        """Logic contents (read-only view); 0 = HRS, 1 = LRS."""
+        view = self._states.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def resistances(self) -> np.ndarray:
+        """Currently programmed per-cell resistances (read-only view)."""
+        view = self._resistance.view()
+        view.flags.writeable = False
+        return view
+
+    def _check_row(self, row: int) -> None:
+        if not 0 <= row < self.rows:
+            raise IndexError(f"row {row} outside [0, {self.rows})")
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+    def write_row(self, row: int, bits: Sequence[int],
+                  differential: bool = True) -> int:
+        """Program one row; returns the number of cells actually switched.
+
+        With ``differential=True`` (the standard double-latch write driver,
+        Fig. 1c) only cells whose new datum differs from the stored one are
+        pulsed — this is what the endurance accounting and write energy
+        scale with.
+        """
+        self._check_row(row)
+        data = np.asarray(bits, dtype=np.uint8)
+        if data.shape != (self.cols,):
+            raise ValueError(f"expected {self.cols} bits, got {data.shape}")
+        if data.size and data.max() > 1:
+            raise ValueError("row data must be 0/1")
+        if differential:
+            changed = data != self._states[row]
+        else:
+            changed = np.ones(self.cols, dtype=bool)
+        if np.any(changed):
+            self._states[row, changed] = data[changed]
+            self._resistance[row, changed] = self.device.sample_resistance(
+                data[changed])
+            self._write_counts[row, changed] += 1
+        self.stats.row_writes += 1
+        n_switched = int(np.count_nonzero(changed))
+        self.stats.cells_written += n_switched
+        return n_switched
+
+    def write_block(self, first_row: int, data: np.ndarray) -> None:
+        """Program consecutive rows from a 2-D 0/1 array."""
+        data = np.asarray(data, dtype=np.uint8)
+        if data.ndim != 2 or data.shape[1] != self.cols:
+            raise ValueError("block shape must be (k, cols)")
+        for i in range(data.shape[0]):
+            self.write_row(first_row + i, data[i])
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def read_row(self, row: int, ideal: bool = False) -> np.ndarray:
+        """Single-row read through the sense amplifiers.
+
+        A normal read has effectively full margin (single-cell HRS/LRS
+        separation is orders of magnitude), so it returns the stored state;
+        ``ideal=False`` still draws the noisy current so marginal cells can
+        misread under extreme parameter settings.
+        """
+        self._check_row(row)
+        self.stats.row_reads += 1
+        if ideal:
+            return self._states[row].copy()
+        current = self.device.read_current(self._resistance[row])
+        iref = self.device.single_ref_current()
+        return (current > iref).astype(np.uint8)
+
+    def bitline_currents(self, rows: Iterable[int]) -> np.ndarray:
+        """Noisy summed bitline currents for a multi-row activation.
+
+        This is the raw analog quantity scouting logic thresholds: each
+        activated cell contributes ``V_read * G_cell`` and the per-column
+        currents add on the shared bitline.
+        """
+        idx = list(rows)
+        for r in idx:
+            self._check_row(r)
+        if not idx:
+            raise ValueError("need at least one activated row")
+        self.stats.multi_row_activations += 1
+        currents = self.device.read_current(self._resistance[idx])
+        return currents.sum(axis=0)
+
+    def reference_column_current(self, col: int, voltages: np.ndarray) -> float:
+        """Current accumulated on one column driven by per-row voltages.
+
+        Models the in-memory S-to-B step (Sec. III-C): the output bit-stream
+        is applied as wordline voltages to a column of LRS-programmed cells;
+        the summed current is proportional to the stream's popcount.
+        """
+        if not 0 <= col < self.cols:
+            raise IndexError(f"column {col} outside [0, {self.cols})")
+        v = np.asarray(voltages, dtype=np.float64)
+        if v.shape != (self.rows,):
+            raise ValueError(f"expected {self.rows} voltages")
+        g = self.device.read_conductance(self._resistance[:, col])
+        self.stats.multi_row_activations += 1
+        return float(np.sum(v * g))
+
+    # ------------------------------------------------------------------
+    # Endurance
+    # ------------------------------------------------------------------
+    @property
+    def max_cell_writes(self) -> int:
+        """Largest per-cell write count (endurance hot spot)."""
+        return int(self._write_counts.max())
+
+    def endurance_fraction_used(self) -> float:
+        """Fraction of rated endurance consumed by the hottest cell."""
+        return self.max_cell_writes / self.device.params.write_endurance

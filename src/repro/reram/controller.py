@@ -1,0 +1,126 @@
+"""Array controller: row allocation and command issue for in-memory SC.
+
+The controller owns one crossbar array and exposes the abstraction the
+in-memory SC engine programs against (Fig. 1a): named row regions for input
+binary data, in-memory random numbers and generated bit-streams, plus a
+command log every issued operation appends to.  The energy model replays the
+command log against a parameter set to produce latency/energy totals, in the
+spirit of the paper's NVMain-based methodology.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from .array import CrossbarArray
+from .periphery import LatchPair, SenseAmp
+from .scouting import ScoutingLogic
+
+__all__ = ["Command", "RowRegion", "ArrayController"]
+
+
+@dataclass(frozen=True)
+class Command:
+    """One issued array command, as recorded in the trace."""
+
+    kind: str                 # 'read' | 'write' | 'sl' | 'adc' | 'latch'
+    gate: Optional[str] = None
+    rows: Tuple[int, ...] = ()
+    cells: int = 0
+
+
+@dataclass
+class RowRegion:
+    """A named, contiguous row range inside the array."""
+
+    name: str
+    start: int
+    size: int
+
+    def row(self, offset: int) -> int:
+        if not 0 <= offset < self.size:
+            raise IndexError(
+                f"offset {offset} outside region {self.name!r} of {self.size}")
+        return self.start + offset
+
+
+class ArrayController:
+    """Issues reads/writes/scouting ops on one array and logs them.
+
+    Parameters
+    ----------
+    array:
+        Backing crossbar.
+    regions:
+        Mapping of region name to row count; regions are packed from row 0
+        in insertion order.  A typical IMSNG layout is
+        ``{"data": 8, "rand": 8, "sbs": 16, "work": 4}``.
+    """
+
+    def __init__(self, array: CrossbarArray,
+                 regions: Optional[Dict[str, int]] = None,
+                 sense_amp: Optional[SenseAmp] = None):
+        self.array = array
+        self.sl = ScoutingLogic(array, sense_amp)
+        self.latches = LatchPair(array.cols)
+        self.trace: List[Command] = []
+        self.regions: Dict[str, RowRegion] = {}
+        next_row = 0
+        for name, size in (regions or {}).items():
+            if next_row + size > array.rows:
+                raise ValueError(
+                    f"region {name!r} overflows array ({array.rows} rows)")
+            self.regions[name] = RowRegion(name, next_row, size)
+            next_row += size
+
+    # ------------------------------------------------------------------
+    # Region helpers
+    # ------------------------------------------------------------------
+    def region(self, name: str) -> RowRegion:
+        if name not in self.regions:
+            raise KeyError(f"no region {name!r}")
+        return self.regions[name]
+
+    def row(self, region: str, offset: int) -> int:
+        return self.region(region).row(offset)
+
+    # ------------------------------------------------------------------
+    # Commands
+    # ------------------------------------------------------------------
+    def write_row(self, row: int, bits: np.ndarray) -> None:
+        switched = self.array.write_row(row, bits)
+        self.trace.append(Command("write", rows=(row,), cells=switched))
+
+    def read_row(self, row: int) -> np.ndarray:
+        out = self.array.read_row(row)
+        self.trace.append(Command("read", rows=(row,), cells=self.array.cols))
+        return out
+
+    def sl_op(self, gate: str, rows: Sequence[int]) -> np.ndarray:
+        out = self.sl.gate(gate, rows)
+        self.trace.append(
+            Command("sl", gate=gate, rows=tuple(rows), cells=self.array.cols))
+        return out
+
+    def latch_op(self) -> None:
+        """Record a periphery-only latch cycle (no array access)."""
+        self.trace.append(Command("latch", cells=self.array.cols))
+
+    # ------------------------------------------------------------------
+    # Trace summaries
+    # ------------------------------------------------------------------
+    def counts(self) -> Dict[str, int]:
+        """Command counts by kind (plus per-gate SL counts)."""
+        out: Dict[str, int] = {}
+        for cmd in self.trace:
+            out[cmd.kind] = out.get(cmd.kind, 0) + 1
+            if cmd.kind == "sl" and cmd.gate:
+                key = f"sl_{cmd.gate}"
+                out[key] = out.get(key, 0) + 1
+        return out
+
+    def reset_trace(self) -> None:
+        self.trace.clear()

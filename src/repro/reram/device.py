@@ -1,0 +1,148 @@
+"""Behavioural VCM ReRAM device model.
+
+Models the aspects of a valence-change-mechanism (VCM) ReRAM cell that the
+paper's evaluation depends on:
+
+* **Resistance distributions.**  The high-resistance state (HRS) and
+  low-resistance state (LRS) are log-normally distributed across cells and
+  programming events; the HRS distribution is markedly wider ("HRS
+  instability", Wiefels et al., IEEE TED 2020).  Distribution overlap is what
+  makes multi-row scouting-logic reads fail, which is the source of the CIM
+  fault rates used in Table IV.
+* **Read noise.**  Each read sees a multiplicative log-normal fluctuation of
+  the programmed resistance (random telegraph / 1/f noise).  Biased reads of
+  a cell programmed near the sensing boundary are the entropy source of the
+  read-noise TRNG (Schnieders et al. 2024), modelled in
+  :mod:`repro.reram.trng`.
+* **Switching stochasticity.**  The probability that a SET/RESET pulse
+  actually switches the cell follows a sigmoid in pulse voltage/width; this
+  is the (slow, endurance-hungry) entropy source used by prior work such as
+  SCRIMP, kept for comparison.
+
+All randomness flows through an explicit ``numpy.random.Generator`` so
+experiments are reproducible.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Optional, Union
+
+import numpy as np
+
+__all__ = ["DeviceParams", "ReRamDevice", "DEFAULT_DEVICE"]
+
+
+@dataclass(frozen=True)
+class DeviceParams:
+    """Electrical and statistical parameters of one ReRAM cell.
+
+    Resistances are in ohms; ``*_sigma`` values are the standard deviations
+    of ``ln(R)`` (log-normal shape parameters).  Defaults are representative
+    of filamentary HfO2 VCM cells: LRS around 10 kOhm with tight spread, HRS
+    around 500 kOhm with a wide, unstable tail.
+    """
+
+    lrs_mean: float = 10e3
+    lrs_sigma: float = 0.15
+    hrs_mean: float = 500e3
+    hrs_sigma: float = 0.45
+    read_voltage: float = 0.2
+    read_noise_sigma: float = 0.06
+    # Switching dynamics (SET direction): P(switch) is a logistic function of
+    # pulse voltage centred on v_set50 with slope v_set_slope.
+    v_set50: float = 1.4
+    v_set_slope: float = 0.08
+    v_reset50: float = -1.3
+    v_reset_slope: float = 0.09
+    write_endurance: float = 1e7
+
+    @property
+    def g_lrs(self) -> float:
+        """Median LRS conductance (siemens)."""
+        return 1.0 / self.lrs_mean
+
+    @property
+    def g_hrs(self) -> float:
+        """Median HRS conductance (siemens)."""
+        return 1.0 / self.hrs_mean
+
+    def scaled(self, **overrides) -> "DeviceParams":
+        """Return a copy with selected fields replaced (for sweeps)."""
+        return replace(self, **overrides)
+
+
+DEFAULT_DEVICE = DeviceParams()
+
+
+class ReRamDevice:
+    """Samples per-cell electrical behaviour from :class:`DeviceParams`."""
+
+    def __init__(self, params: DeviceParams = DEFAULT_DEVICE,
+                 rng: Union[np.random.Generator, int, None] = None):
+        self.params = params
+        self.rng = (rng if isinstance(rng, np.random.Generator)
+                    else np.random.default_rng(rng))
+
+    # ------------------------------------------------------------------
+    # Resistance statistics
+    # ------------------------------------------------------------------
+    def sample_resistance(self, states: np.ndarray) -> np.ndarray:
+        """Draw programmed resistances for an array of logic states.
+
+        ``states`` holds 0 (HRS) / 1 (LRS); the result has the same shape,
+        with each cell drawn independently from its state's log-normal.
+        """
+        states = np.asarray(states)
+        ln_mean = np.where(states == 1,
+                           math.log(self.params.lrs_mean),
+                           math.log(self.params.hrs_mean))
+        ln_sigma = np.where(states == 1,
+                            self.params.lrs_sigma,
+                            self.params.hrs_sigma)
+        return np.exp(self.rng.normal(ln_mean, ln_sigma))
+
+    def read_conductance(self, resistance: np.ndarray) -> np.ndarray:
+        """One read of the given programmed resistances, with read noise."""
+        noise = np.exp(self.rng.normal(
+            0.0, self.params.read_noise_sigma, np.shape(resistance)))
+        return 1.0 / (np.asarray(resistance) * noise)
+
+    def read_current(self, resistance: np.ndarray,
+                     voltage: Optional[float] = None) -> np.ndarray:
+        """Read current (A) at the sensing voltage, with read noise."""
+        v = self.params.read_voltage if voltage is None else voltage
+        return v * self.read_conductance(resistance)
+
+    # ------------------------------------------------------------------
+    # Switching stochasticity
+    # ------------------------------------------------------------------
+    def set_probability(self, voltage: float) -> float:
+        """Probability a SET pulse of ``voltage`` switches HRS -> LRS."""
+        z = (voltage - self.params.v_set50) / self.params.v_set_slope
+        return float(1.0 / (1.0 + math.exp(-z)))
+
+    def reset_probability(self, voltage: float) -> float:
+        """Probability a RESET pulse of ``voltage`` switches LRS -> HRS."""
+        z = (self.params.v_reset50 - voltage) / self.params.v_reset_slope
+        return float(1.0 / (1.0 + math.exp(-z)))
+
+    def stochastic_set(self, shape, voltage: Optional[float] = None) -> np.ndarray:
+        """Apply probabilistic SET pulses; returns switched bits (0/1).
+
+        At ``voltage = v_set50`` each pulse switches with probability 0.5 —
+        the write-based entropy source used by SCRIMP-style designs.
+        """
+        v = self.params.v_set50 if voltage is None else voltage
+        p = self.set_probability(v)
+        return (self.rng.random(shape) < p).astype(np.uint8)
+
+    # ------------------------------------------------------------------
+    # Sensing margins
+    # ------------------------------------------------------------------
+    def single_ref_current(self) -> float:
+        """Reference current separating HRS from LRS for a 1-row read."""
+        v = self.params.read_voltage
+        g_mid = math.sqrt(self.params.g_lrs * self.params.g_hrs)
+        return v * g_mid

@@ -1,0 +1,128 @@
+"""ReRAM peripheral circuitry: sense amplifiers, latches, write drivers.
+
+Models the modified periphery of Fig. 1c:
+
+* :class:`SenseAmp` — compares a bitline current against a reference current
+  ``Iref``; a configurable input-referred offset models comparator
+  imperfection.  Scouting logic reuses this comparator with gate-specific
+  references; the enhanced-SL XOR uses two of them as a window comparator.
+* :class:`LatchPair` — the L0/L1 double latch in front of each write driver.
+  Nonvolatile memories use these for differential writes (L0 = data to
+  write, L1 = modify flag).  The paper's IMSNG-opt repurposes them to hold
+  the running flag bit and implement the flag AND as *predicated sensing*,
+  eliminating intermediate writes.
+* :class:`WriteDriver` — conditional write pulses driven by the latch pair;
+  also provides the *feedback* path (latched sense output re-applied as a
+  bitline voltage) that IMSNG-naive uses to forward intermediate logic
+  results without programming cells.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+import numpy as np
+
+__all__ = ["SenseAmp", "LatchPair", "WriteDriver"]
+
+
+class SenseAmp:
+    """Current-mode sense amplifier with input-referred offset noise.
+
+    Parameters
+    ----------
+    offset_sigma:
+        Standard deviation of the comparator offset, in amperes.  Drawn per
+        comparison; set to 0 for an ideal comparator.
+    """
+
+    def __init__(self, offset_sigma: float = 0.0,
+                 rng: Union[np.random.Generator, int, None] = None):
+        if offset_sigma < 0:
+            raise ValueError("offset_sigma must be >= 0")
+        self.offset_sigma = offset_sigma
+        self._gen = (rng if isinstance(rng, np.random.Generator)
+                     else np.random.default_rng(rng))
+
+    def compare(self, currents: np.ndarray, iref: float) -> np.ndarray:
+        """Output 1 where ``current > iref`` (plus offset noise)."""
+        i = np.asarray(currents, dtype=np.float64)
+        if self.offset_sigma > 0.0:
+            i = i + self._gen.normal(0.0, self.offset_sigma, i.shape)
+        return (i > iref).astype(np.uint8)
+
+    def window(self, currents: np.ndarray, iref_low: float,
+               iref_high: float) -> np.ndarray:
+        """Window comparison: 1 where ``iref_low < current <= iref_high``.
+
+        Implements the two-reference (enhanced scouting logic) XOR: exactly
+        one of two activated cells in LRS lands between the OR and AND
+        thresholds.
+        """
+        low = self.compare(currents, iref_low)
+        high = self.compare(currents, iref_high)
+        return (low & (1 - high)).astype(np.uint8)
+
+
+class LatchPair:
+    """The L0/L1 latch pair attached to each bitline's write driver.
+
+    ``data`` (L0) holds the value to be written or forwarded; ``flag`` (L1)
+    holds the modify/predicate bit.  ``predicated_store`` implements the
+    IMSNG-opt trick: the incoming sensed value is ANDed with the flag inside
+    the latch, with no array access.
+    """
+
+    def __init__(self, width: int):
+        if width < 1:
+            raise ValueError("latch width must be >= 1")
+        self.width = width
+        self.data = np.zeros(width, dtype=np.uint8)
+        self.flag = np.ones(width, dtype=np.uint8)
+
+    def load_data(self, bits: np.ndarray) -> None:
+        self.data = self._coerce(bits)
+
+    def load_flag(self, bits: np.ndarray) -> None:
+        self.flag = self._coerce(bits)
+
+    def predicated_store(self, sensed: np.ndarray) -> np.ndarray:
+        """Store ``sensed AND flag`` into L0 and return it."""
+        self.data = self._coerce(sensed) & self.flag
+        return self.data.copy()
+
+    def update_flag_and_not(self, sensed: np.ndarray) -> np.ndarray:
+        """Flag <- Flag AND NOT(sensed): the running prefix-equality bit."""
+        self.flag = self.flag & (1 - self._coerce(sensed))
+        return self.flag.copy()
+
+    def _coerce(self, bits: np.ndarray) -> np.ndarray:
+        arr = np.asarray(bits, dtype=np.uint8)
+        if arr.shape != (self.width,):
+            raise ValueError(f"expected width {self.width}, got {arr.shape}")
+        return arr
+
+
+@dataclass
+class WriteDriver:
+    """Write driver fed by a :class:`LatchPair`.
+
+    ``feedback_voltage`` converts latched logic values into bitline voltages,
+    mimicking the voltage drop the cell would have produced had the value
+    been written — the mechanism that lets one logic op's output feed the
+    next op's input without an intermediate array write.
+    """
+
+    latch: LatchPair
+    v_high: float = 0.2
+    v_low: float = 0.0
+
+    def differential_mask(self, stored: np.ndarray) -> np.ndarray:
+        """Cells that need a pulse: latched data differs from stored data."""
+        stored = np.asarray(stored, dtype=np.uint8)
+        return (self.latch.data != stored).astype(np.uint8)
+
+    def feedback_voltage(self) -> np.ndarray:
+        """Per-bitline voltages reproducing the latched logic values."""
+        return np.where(self.latch.data == 1, self.v_high, self.v_low)

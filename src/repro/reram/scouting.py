@@ -1,0 +1,132 @@
+"""Scouting logic (SL): bulk-bitwise Boolean operations by multi-row reads.
+
+Scouting logic (Xie et al., ISVLSI'17) activates two or more wordlines at
+once; the summed current of the selected cells on each bitline is compared
+against a gate-specific reference current:
+
+* ``AND(k)`` — output 1 only when all ``k`` cells are LRS: the reference sits
+  between the ``k-1``-LRS and ``k``-LRS current levels;
+* ``OR(k)``  — output 1 when at least one cell is LRS: reference between the
+  all-HRS and 1-LRS levels;
+* ``MAJ3``   — at-least-2-of-3: *the same reference as the 2-input AND*, the
+  observation the paper uses to turn MUX-based scaled addition into a
+  single-cycle in-memory op;
+* ``XOR``    — exactly-one-of-two, sensed with two references (enhanced SL).
+
+Because cell resistances and read noise are sampled from the device model,
+the SL output is *naturally* faulty when distributions overlap — no fault
+rate is assumed; it emerges from the physics parameters.  The closed-form /
+Monte-Carlo fault-rate derivation lives in :mod:`repro.reram.faults`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from .array import CrossbarArray
+from .periphery import SenseAmp
+
+__all__ = ["ScoutingLogic", "SL_GATES"]
+
+SL_GATES = ("and", "or", "xor", "nand", "nor", "xnor", "maj3", "not")
+
+
+class ScoutingLogic:
+    """Executes scouting-logic gates on a :class:`CrossbarArray`.
+
+    Parameters
+    ----------
+    array:
+        Backing crossbar holding the operand rows.
+    sense_amp:
+        Comparator model; defaults to an ideal (offset-free) SA, matching
+        the paper's assumption that variability, not the comparator,
+        dominates errors.
+    """
+
+    def __init__(self, array: CrossbarArray, sense_amp: SenseAmp = None):
+        self.array = array
+        self.sense_amp = sense_amp if sense_amp is not None else SenseAmp()
+        self._level_cache: Dict[int, np.ndarray] = {}
+
+    # ------------------------------------------------------------------
+    # Reference currents
+    # ------------------------------------------------------------------
+    def current_levels(self, k: int) -> np.ndarray:
+        """Nominal bitline current for j of k activated cells in LRS."""
+        if k not in self._level_cache:
+            p = self.array.device.params
+            v = p.read_voltage
+            j = np.arange(k + 1, dtype=np.float64)
+            self._level_cache[k] = v * (j * p.g_lrs + (k - j) * p.g_hrs)
+        return self._level_cache[k]
+
+    def reference(self, k: int, threshold: int) -> float:
+        """Reference current detecting 'at least ``threshold`` of ``k`` high'.
+
+        Placed at the midpoint between the ``threshold-1`` and ``threshold``
+        nominal current levels.
+        """
+        if not 1 <= threshold <= k:
+            raise ValueError("threshold must be in [1, k]")
+        levels = self.current_levels(k)
+        return float((levels[threshold - 1] + levels[threshold]) / 2.0)
+
+    # ------------------------------------------------------------------
+    # Gate execution
+    # ------------------------------------------------------------------
+    def _currents(self, rows: Sequence[int]) -> np.ndarray:
+        return self.array.bitline_currents(rows)
+
+    def and_(self, rows: Sequence[int]) -> np.ndarray:
+        """k-input AND across the given rows (one output bit per column)."""
+        k = len(rows)
+        return self.sense_amp.compare(self._currents(rows), self.reference(k, k))
+
+    def or_(self, rows: Sequence[int]) -> np.ndarray:
+        """k-input OR across the given rows."""
+        k = len(rows)
+        return self.sense_amp.compare(self._currents(rows), self.reference(k, 1))
+
+    def maj3(self, rows: Sequence[int]) -> np.ndarray:
+        """3-input majority using the 2-input AND reference (Sec. III-B)."""
+        if len(rows) != 3:
+            raise ValueError("maj3 needs exactly 3 rows")
+        return self.sense_amp.compare(self._currents(rows), self.reference(3, 2))
+
+    def xor(self, rows: Sequence[int]) -> np.ndarray:
+        """2-input XOR via a two-reference window comparison (enhanced SL)."""
+        if len(rows) != 2:
+            raise ValueError("xor needs exactly 2 rows")
+        i = self._currents(rows)
+        return self.sense_amp.window(i, self.reference(2, 1), self.reference(2, 2))
+
+    def nand(self, rows: Sequence[int]) -> np.ndarray:
+        return (1 - self.and_(rows)).astype(np.uint8)
+
+    def nor(self, rows: Sequence[int]) -> np.ndarray:
+        return (1 - self.or_(rows)).astype(np.uint8)
+
+    def xnor(self, rows: Sequence[int]) -> np.ndarray:
+        return (1 - self.xor(rows)).astype(np.uint8)
+
+    def not_(self, row: int) -> np.ndarray:
+        """NOT: single-row read with inverted sense-amp output."""
+        return (1 - self.array.read_row(row)).astype(np.uint8)
+
+    def gate(self, name: str, rows: Sequence[int]) -> np.ndarray:
+        """Dispatch by gate name (one of :data:`SL_GATES`)."""
+        table = {
+            "and": self.and_, "or": self.or_, "xor": self.xor,
+            "nand": self.nand, "nor": self.nor, "xnor": self.xnor,
+            "maj3": self.maj3,
+        }
+        if name == "not":
+            if len(rows) != 1:
+                raise ValueError("not takes one row")
+            return self.not_(rows[0])
+        if name not in table:
+            raise ValueError(f"unknown SL gate {name!r}")
+        return table[name](rows)

@@ -1,0 +1,96 @@
+"""Endurance tracking and wear levelling for SBS rows.
+
+ReRAM cells endure a bounded number of programming cycles (~1e6..1e9
+depending on technology).  The paper's argument against write-based SBS
+generation is endurance; this module provides the complementary machinery
+for the remaining writes the in-memory flow *does* perform (result rows and
+TRNG refills): a wear tracker and a rotating row allocator that spreads
+those writes across a region.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from .array import CrossbarArray
+
+__all__ = ["WearReport", "RotatingRowAllocator", "wear_report"]
+
+
+@dataclass(frozen=True)
+class WearReport:
+    """Summary of per-cell write wear for an array."""
+
+    max_writes: int
+    mean_writes: float
+    hottest_row: int
+    endurance_fraction: float
+    lifetime_conversions: float
+
+    def __str__(self) -> str:   # pragma: no cover - cosmetic
+        return (f"max={self.max_writes} mean={self.mean_writes:.1f} "
+                f"hottest_row={self.hottest_row} "
+                f"endurance_used={self.endurance_fraction:.2e}")
+
+
+def wear_report(array: CrossbarArray,
+                writes_per_conversion: float = 1.0) -> WearReport:
+    """Build a wear report from an array's write counters."""
+    counts = array._write_counts  # noqa: SLF001 - wear is a friend module
+    max_writes = int(counts.max())
+    row_totals = counts.sum(axis=1)
+    hottest = int(np.argmax(row_totals))
+    endurance = array.device.params.write_endurance
+    return WearReport(
+        max_writes=max_writes,
+        mean_writes=float(counts.mean()),
+        hottest_row=hottest,
+        endurance_fraction=max_writes / endurance,
+        # Conversions until the hottest cell reaches rated endurance, at
+        # the observed per-conversion write intensity.
+        lifetime_conversions=endurance / max(writes_per_conversion, 1e-12),
+    )
+
+
+class RotatingRowAllocator:
+    """Round-robin allocator spreading result-row writes across a region.
+
+    Without rotation every conversion writes the same SBS row and that row's
+    cells wear ``region_size`` times faster than necessary; with rotation
+    the write load is uniform.  ``next_row`` returns the row to use for the
+    next write; ``writes_per_row`` exposes the balance for testing.
+    """
+
+    def __init__(self, start_row: int, region_size: int):
+        if region_size < 1:
+            raise ValueError("region_size must be >= 1")
+        self.start_row = start_row
+        self.region_size = region_size
+        self._counter = 0
+        self._per_row: Dict[int, int] = {}
+
+    def next_row(self) -> int:
+        row = self.start_row + (self._counter % self.region_size)
+        self._counter += 1
+        self._per_row[row] = self._per_row.get(row, 0) + 1
+        return row
+
+    @property
+    def total_allocations(self) -> int:
+        return self._counter
+
+    def writes_per_row(self) -> Dict[int, int]:
+        return dict(self._per_row)
+
+    def imbalance(self) -> float:
+        """Max/mean write ratio across the region (1.0 = perfectly even)."""
+        if not self._per_row:
+            return 1.0
+        counts = np.array(list(self._per_row.values()), dtype=np.float64)
+        full = np.zeros(self.region_size)
+        full[: counts.size] = counts
+        mean = full.mean()
+        return float(full.max() / mean) if mean > 0 else 1.0

@@ -1,0 +1,17 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng():
+    """A fixed-seed generator for reproducible randomness in tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_image(rng):
+    """A 16x16 float image in [0, 1] with texture."""
+    from repro.apps.images import natural_scene
+    return natural_scene(16, 16, rng)

@@ -1,0 +1,84 @@
+"""Unit tests for repro.core.accuracy and repro.core.flow."""
+
+import numpy as np
+import pytest
+
+from repro.core import ops
+from repro.core.accuracy import OP_SPECS, op_mse, sng_mse
+from repro.core.flow import ScFlow
+from repro.core.rng import SobolRng, SoftwareRng
+from repro.core.sng import ComparatorSng
+
+
+class TestSngMse:
+    def test_software_matches_binomial_variance(self):
+        # E[(p_hat - p)^2] = p(1-p)/N; averaged over uniform p -> 1/(6N).
+        sng = ComparatorSng(SoftwareRng(8, seed=0))
+        for n in (32, 128):
+            got = sng_mse(sng, n, samples=20_000, seed=1)
+            expected = 100.0 / (6 * n)
+            assert got == pytest.approx(expected, rel=0.15)
+
+    def test_sobol_much_better_than_software(self):
+        sw = sng_mse(ComparatorSng(SoftwareRng(8, seed=0)), 256, 5_000)
+        qr = sng_mse(ComparatorSng(SobolRng(8)), 256, 5_000)
+        assert qr < sw / 20
+
+    def test_mse_decreases_with_length(self):
+        sng = ComparatorSng(SoftwareRng(8, seed=0))
+        m32 = sng_mse(sng, 32, 10_000, seed=2)
+        m256 = sng_mse(sng, 256, 10_000, seed=2)
+        assert m256 < m32 / 4
+
+
+class TestOpMse:
+    @pytest.mark.parametrize("op", list(OP_SPECS))
+    def test_all_ops_finite_and_small(self, op):
+        sng = ComparatorSng(SoftwareRng(8, seed=3))
+        m = op_mse(op, sng, 64, samples=2_000, seed=4)
+        assert 0.0 <= m < 5.0
+
+    def test_division_worst(self):
+        # Division has the highest MSE of the basic ops (Table II row order).
+        sng = ComparatorSng(SoftwareRng(8, seed=5))
+        div = op_mse("division", sng, 32, samples=3_000, seed=6)
+        mul = op_mse("multiplication", sng, 32, samples=3_000, seed=6)
+        assert div > mul
+
+    def test_mux_and_maj_addition_agree(self):
+        sng = ComparatorSng(SoftwareRng(8, seed=7))
+        maj = op_mse("scaled_addition", sng, 64, samples=3_000, seed=8)
+        mux = op_mse("scaled_addition_mux", sng, 64, samples=3_000, seed=8)
+        assert maj == pytest.approx(mux, rel=0.5)
+
+
+class TestScFlow:
+    def test_multiplication_flow(self):
+        flow = ScFlow(lambda s: ops.mul_and(s["a"], s["b"]),
+                      sng=ComparatorSng(SoftwareRng(8, seed=0)))
+        res = flow.run({"a": 0.5, "b": 0.5}, length=8192)
+        assert float(res.value) == pytest.approx(0.25, abs=0.03)
+
+    def test_correlated_group_subtraction(self):
+        flow = ScFlow(lambda s: ops.sub_xor(s["x"], s["y"]),
+                      correlated_groups=[("x", "y")],
+                      sng=ComparatorSng(SoftwareRng(8, seed=1)))
+        res = flow.run({"x": 0.8, "y": 0.3}, length=8192)
+        assert float(res.value) == pytest.approx(0.5, abs=0.03)
+
+    def test_duplicate_group_membership_rejected(self):
+        with pytest.raises(ValueError):
+            ScFlow(lambda s: s["a"], correlated_groups=[("a",), ("a", "b")])
+
+    def test_keep_streams(self):
+        flow = ScFlow(lambda s: s["a"])
+        res = flow.run({"a": 0.5}, length=64, keep_streams=True)
+        assert "a" in res.streams
+        assert res.output_stream is not None
+
+    def test_batch_inputs(self):
+        flow = ScFlow(lambda s: ops.mul_and(s["a"], s["b"]))
+        res = flow.run({"a": np.full(10, 0.6), "b": np.full(10, 0.5)},
+                       length=4096)
+        assert res.value.shape == (10,)
+        assert np.allclose(res.value, 0.3, atol=0.05)

@@ -1,0 +1,216 @@
+"""Unit tests for repro.apps (images, metrics, the three applications)."""
+
+import numpy as np
+import pytest
+
+from repro.apps import (
+    checkerboard,
+    composite_bincim,
+    composite_float,
+    composite_sc,
+    from_uint8,
+    gradient_image,
+    matting_bincim,
+    matting_float,
+    matting_sc,
+    mse,
+    natural_scene,
+    neighbour_grid,
+    psnr,
+    quality_pair,
+    run_app,
+    scene_triplet,
+    soft_alpha_matte,
+    ssim,
+    to_uint8,
+    upscale_bincim,
+    upscale_float,
+    upscale_sc,
+)
+from repro.bincim.design import BinaryCimDesign
+from repro.imsc.engine import InMemorySCEngine
+
+
+class TestImages:
+    def test_ranges(self, rng):
+        for img in (gradient_image(16, 16), checkerboard(16, 16, 4),
+                    natural_scene(16, 16, rng), soft_alpha_matte(16, 16, rng=rng)):
+            assert img.shape == (16, 16)
+            assert img.min() >= 0.0 and img.max() <= 1.0
+
+    def test_gradient_monotone(self):
+        img = gradient_image(8, 8, angle_deg=0.0)
+        assert np.all(np.diff(img, axis=1) >= 0)
+
+    def test_checkerboard_two_levels(self):
+        img = checkerboard(8, 8, 2, low=0.1, high=0.9)
+        assert set(np.unique(img)) == {0.1, 0.9}
+
+    def test_alpha_matte_has_soft_edge(self, rng):
+        a = soft_alpha_matte(32, 32, rng=rng)
+        interior = np.mean((a > 0.05) & (a < 0.95))
+        assert interior > 0.02   # a band of intermediate alphas exists
+
+    def test_scene_triplet_shapes(self, rng):
+        b, f, a = scene_triplet(12, 12, rng)
+        assert b.shape == f.shape == a.shape == (12, 12)
+
+    def test_uint8_roundtrip(self):
+        img = np.linspace(0, 1, 256).reshape(16, 16)
+        back = from_uint8(to_uint8(img))
+        assert np.max(np.abs(back - img)) <= 0.5 / 255 + 1e-9
+
+    def test_uint8_range_check(self):
+        with pytest.raises(ValueError):
+            to_uint8(np.array([1.5]))
+
+
+class TestMetrics:
+    def test_identical_images(self, small_image):
+        assert mse(small_image, small_image) == 0.0
+        assert psnr(small_image, small_image) == float("inf")
+        assert ssim(small_image, small_image) == pytest.approx(1.0)
+
+    def test_noise_decreases_both(self, small_image, rng):
+        noisy = np.clip(small_image + rng.normal(0, 0.1, small_image.shape),
+                        0, 1)
+        assert psnr(small_image, noisy) < 25
+        assert ssim(small_image, noisy) < 0.95
+
+    def test_psnr_value(self):
+        a = np.zeros((8, 8))
+        b = np.full((8, 8), 0.1)
+        assert psnr(a, b) == pytest.approx(20.0, abs=0.01)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            mse(np.zeros((2, 2)), np.zeros((3, 3)))
+
+    def test_quality_pair_format(self, small_image):
+        s, p = quality_pair(small_image, small_image)
+        assert s == pytest.approx(100.0)
+
+
+class TestCompositing:
+    def test_float_reference_bounds(self, rng):
+        b, f, a = scene_triplet(16, 16, rng)
+        c = composite_float(f, b, a)
+        assert c.min() >= 0 and c.max() <= 1
+
+    def test_alpha_extremes(self, rng):
+        b, f, _ = scene_triplet(16, 16, rng)
+        assert np.allclose(composite_float(f, b, np.ones_like(b)), f)
+        assert np.allclose(composite_float(f, b, np.zeros_like(b)), b)
+
+    def test_sc_accuracy(self, rng):
+        b, f, a = scene_triplet(16, 16, rng)
+        engine = InMemorySCEngine(rng=0, ideal_stob=True)
+        out = composite_sc(engine, f, b, a, 512)
+        assert psnr(composite_float(f, b, a), out) > 25
+
+    def test_sc_mux_ablation_similar(self, rng):
+        b, f, a = scene_triplet(16, 16, rng)
+        ref = composite_float(f, b, a)
+        maj = composite_sc(InMemorySCEngine(rng=0, ideal_stob=True),
+                           f, b, a, 512)
+        mux = composite_sc(InMemorySCEngine(rng=0, ideal_stob=True),
+                           f, b, a, 512, use_mux=True)
+        assert abs(psnr(ref, maj) - psnr(ref, mux)) < 6
+
+    def test_bincim_near_exact(self, rng):
+        b, f, a = scene_triplet(16, 16, rng)
+        out = composite_bincim(BinaryCimDesign(), f, b, a)
+        assert psnr(composite_float(f, b, a), out) > 40
+
+
+class TestInterpolation:
+    def test_neighbour_grid_shapes(self, small_image):
+        i11, i12, i21, i22, dx, dy, shape = neighbour_grid(small_image, 2)
+        assert shape == (32, 32)
+        assert i11.size == 32 * 32
+        assert dx.min() >= 0 and dx.max() < 1
+
+    def test_float_preserves_source_pixels(self, small_image):
+        up = upscale_float(small_image, 2)
+        assert up.shape == (32, 32)
+        # Align-corners: source pixel (0,0) maps to output (0,0).
+        assert up[0, 0] == pytest.approx(small_image[0, 0])
+
+    def test_float_constant_image(self):
+        img = np.full((8, 8), 0.4)
+        assert np.allclose(upscale_float(img, 2), 0.4)
+
+    def test_sc_accuracy(self, small_image):
+        ref = upscale_float(small_image, 2)
+        out = upscale_sc(InMemorySCEngine(rng=1, ideal_stob=True),
+                         small_image, 512, 2)
+        assert psnr(ref, out) > 22
+
+    def test_sc_mux_tree_variant(self, small_image):
+        ref = upscale_float(small_image, 2)
+        out = upscale_sc(InMemorySCEngine(rng=1, ideal_stob=True),
+                         small_image, 512, 2, first_level_maj=False)
+        assert psnr(ref, out) > 20
+
+    def test_bincim_near_exact(self, small_image):
+        ref = upscale_float(small_image, 2)
+        out = upscale_bincim(BinaryCimDesign(), small_image, 2)
+        assert psnr(ref, out) > 40
+
+
+class TestMatting:
+    def test_float_recovers_alpha(self, rng):
+        b, f, a = scene_triplet(16, 16, rng)
+        comp = composite_float(f, b, a)
+        est = matting_float(comp, b, f)
+        # Alpha is recoverable where F and B differ.
+        mask = np.abs(f - b) > 0.1
+        assert np.abs((est - a)[mask]).mean() < 0.02
+
+    def test_sc_estimation(self, rng):
+        b, f, a = scene_triplet(16, 16, rng)
+        comp = composite_float(f, b, a)
+        est = matting_sc(InMemorySCEngine(rng=2, ideal_stob=True),
+                         comp, b, f, 512)
+        mask = np.abs(f - b) > 0.2
+        assert np.abs((est - a)[mask]).mean() < 0.15
+
+    def test_bincim_unclamped_alpha(self, rng):
+        b, f, a = scene_triplet(16, 16, rng)
+        comp = composite_float(f, b, a)
+        est = matting_bincim(BinaryCimDesign(), comp, b, f)
+        assert est.shape == a.shape
+
+
+class TestRunApp:
+    @pytest.mark.parametrize("app", ["compositing", "interpolation",
+                                     "matting"])
+    def test_float_backend_perfect(self, app):
+        r = run_app(app, "float", size=16, seed=0)
+        assert r.ssim_pct == pytest.approx(100.0, abs=0.1)
+
+    def test_sc_backend_has_ledger(self):
+        r = run_app("compositing", "sc", length=32, size=16, seed=0)
+        assert r.ledger is not None and r.ledger.energy_j > 0
+
+    def test_quality_improves_with_length(self):
+        lo = run_app("compositing", "sc", length=16, size=16, seed=0)
+        hi = run_app("compositing", "sc", length=256, size=16, seed=0)
+        assert hi.psnr_db > lo.psnr_db
+
+    def test_faults_degrade_bincim(self):
+        clean = run_app("matting", "bincim", size=16, seed=0)
+        dirty = run_app("matting", "bincim", faulty=True, size=16, seed=0)
+        assert dirty.ssim_pct < clean.ssim_pct - 5
+
+    def test_sc_robust_to_faults(self):
+        clean = run_app("compositing", "sc", length=128, size=16, seed=0)
+        dirty = run_app("compositing", "sc", length=128, faulty=True,
+                        size=16, seed=0)
+        assert dirty.ssim_pct > clean.ssim_pct - 15
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            run_app("sharpen", "sc")
+        with pytest.raises(ValueError):
+            run_app("matting", "gpu")

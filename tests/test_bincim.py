@@ -1,0 +1,158 @@
+"""Unit tests for repro.bincim (gate-level bit-serial arithmetic)."""
+
+import numpy as np
+import pytest
+
+from repro.bincim.arith import BitSerialAlu, from_planes, to_planes
+from repro.bincim.design import BINARY_OP_CYCLES, BinaryCimDesign
+
+
+class TestPlanes:
+    def test_roundtrip(self):
+        vals = np.array([0, 1, 127, 255])
+        assert np.array_equal(from_planes(to_planes(vals, 8)), vals)
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            to_planes(np.array([256]), 8)
+        with pytest.raises(ValueError):
+            to_planes(np.array([-1]), 8)
+
+    def test_lsb_first(self):
+        planes = to_planes(np.array([1]), 4)
+        assert list(planes[:, 0]) == [1, 0, 0, 0]
+
+
+class TestAluGates:
+    def test_nor(self):
+        alu = BitSerialAlu()
+        a = np.array([0, 0, 1, 1], dtype=np.uint8)
+        b = np.array([0, 1, 0, 1], dtype=np.uint8)
+        assert list(alu.nor(a, b)) == [1, 0, 0, 0]
+        assert alu.cycles == 1
+
+    def test_derived_gates(self):
+        alu = BitSerialAlu()
+        a = np.array([0, 0, 1, 1], dtype=np.uint8)
+        b = np.array([0, 1, 0, 1], dtype=np.uint8)
+        assert list(alu.and_(a, b)) == [0, 0, 0, 1]
+        assert list(alu.or_(a, b)) == [0, 1, 1, 1]
+        assert list(alu.xor(a, b)) == [0, 1, 1, 0]
+
+    def test_mux(self):
+        alu = BitSerialAlu()
+        s = np.array([0, 0, 1, 1], dtype=np.uint8)
+        a = np.array([1, 0, 1, 0], dtype=np.uint8)
+        b = np.array([0, 1, 0, 1], dtype=np.uint8)
+        assert list(alu.mux(s, a, b)) == [1, 0, 0, 1]
+
+    def test_full_adder_exhaustive(self):
+        for a in (0, 1):
+            for b in (0, 1):
+                for c in (0, 1):
+                    alu = BitSerialAlu()
+                    s, cout = alu.full_adder(
+                        np.array([a], dtype=np.uint8),
+                        np.array([b], dtype=np.uint8),
+                        np.array([c], dtype=np.uint8))
+                    assert int(s[0]) == (a + b + c) % 2
+                    assert int(cout[0]) == (a + b + c) // 2
+                    assert alu.cycles == 11
+
+
+class TestArithmetic:
+    def test_add(self, rng):
+        a = rng.integers(0, 256, 300)
+        b = rng.integers(0, 256, 300)
+        alu = BitSerialAlu()
+        out = from_planes(alu.add(to_planes(a, 8), to_planes(b, 8)))
+        assert np.array_equal(out, a + b)
+
+    def test_sub_and_borrow(self, rng):
+        a = rng.integers(0, 256, 300)
+        b = rng.integers(0, 256, 300)
+        alu = BitSerialAlu()
+        diff, ge = alu.sub(to_planes(a, 8), to_planes(b, 8))
+        mask = ge.astype(bool)
+        assert np.array_equal(from_planes(diff)[mask], (a - b)[mask])
+        assert np.array_equal(mask, a >= b)
+
+    def test_multiply(self, rng):
+        a = rng.integers(0, 256, 200)
+        b = rng.integers(0, 256, 200)
+        alu = BitSerialAlu()
+        out = from_planes(alu.multiply(to_planes(a, 8), to_planes(b, 8)))
+        assert np.array_equal(out, a * b)
+
+    def test_divide_fixed_fraction(self, rng):
+        num = rng.integers(0, 200, 200)
+        den = rng.integers(1, 255, 200)
+        lo = np.minimum(num, den)
+        alu = BitSerialAlu()
+        q = from_planes(alu.divide_fixed(to_planes(lo, 8),
+                                         to_planes(den, 8), 8, 8))
+        assert np.array_equal(q, (lo * 256) // den)
+
+    def test_divide_by_zero_saturates(self):
+        alu = BitSerialAlu()
+        q = from_planes(alu.divide_fixed(to_planes(np.array([10]), 8),
+                                         to_planes(np.array([0]), 8), 8))
+        assert int(q[0]) == 255
+
+    def test_shape_mismatch(self):
+        alu = BitSerialAlu()
+        with pytest.raises(ValueError):
+            alu.add(np.zeros((8, 2), dtype=np.uint8),
+                    np.zeros((8, 3), dtype=np.uint8))
+
+
+class TestDesign:
+    def test_value_level_ops(self, rng):
+        d = BinaryCimDesign()
+        a = rng.integers(0, 128, 100)
+        b = rng.integers(0, 128, 100)
+        assert np.array_equal(d.add(a, b), a + b)
+        assert np.array_equal(d.subtract(a, b), np.abs(a - b))
+        assert np.array_equal(d.multiply(a, b), a * b)
+
+    def test_multiply_scaled(self, rng):
+        d = BinaryCimDesign()
+        a = rng.integers(0, 256, 50)
+        b = rng.integers(0, 256, 50)
+        assert np.array_equal(d.multiply_scaled(a, b), (a * b) >> 8)
+
+    def test_measured_cycles_match_table(self):
+        measured = BinaryCimDesign().measure_cycles()
+        assert measured["add"] == BINARY_OP_CYCLES["add"]
+        assert measured["multiply"] == BINARY_OP_CYCLES["multiply"]
+        assert measured["divide"] == BINARY_OP_CYCLES["divide"]
+
+    def test_ledger_grows(self):
+        d = BinaryCimDesign()
+        d.add(np.array([1]), np.array([2]))
+        assert d.ledger.energy_j > 0
+        d.reset_ledger()
+        assert d.ledger.energy_j == 0
+
+    def test_word_faults_perturb_high_bits(self):
+        d = BinaryCimDesign(fault_rate=0.05, fault_granularity="word", rng=0)
+        a = np.zeros(5_000, dtype=np.int64)
+        out = d.add(a, a)
+        assert out.max() >= 64   # high-significance flips occurred
+
+    def test_gate_faults_corrupt_multiply(self):
+        d = BinaryCimDesign(fault_rate=0.01, fault_granularity="gate", rng=0)
+        a = np.full(500, 100)
+        out = d.multiply(a, a)
+        assert np.mean(out != 10_000) > 0.5
+
+    def test_granularity_validation(self):
+        with pytest.raises(ValueError):
+            BinaryCimDesign(fault_granularity="molecule")
+
+    def test_op_cost(self):
+        d = BinaryCimDesign()
+        led = d.op_cost("multiply")
+        assert led.latency_s > d.op_cost("add").latency_s
+        with pytest.raises(ValueError):
+            d.op_cost("sqrt")

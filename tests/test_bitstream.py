@@ -1,0 +1,125 @@
+"""Unit tests for repro.core.bitstream."""
+
+import numpy as np
+import pytest
+
+from repro.core.bitstream import Bitstream
+
+
+class TestConstruction:
+    def test_from_list(self):
+        bs = Bitstream([1, 0, 1, 0])
+        assert bs.length == 4
+        assert bs.batch_shape == ()
+
+    def test_from_2d(self):
+        bs = Bitstream(np.zeros((3, 8), dtype=np.uint8))
+        assert bs.length == 8
+        assert bs.batch_shape == (3,)
+
+    def test_bool_input_coerced(self):
+        bs = Bitstream(np.array([True, False, True]))
+        assert bs.bits.dtype == np.uint8
+
+    def test_rejects_non_binary(self):
+        with pytest.raises(ValueError):
+            Bitstream([0, 1, 2])
+
+    def test_rejects_float(self):
+        with pytest.raises(TypeError):
+            Bitstream(np.array([0.5, 0.5]))
+
+    def test_scalar_becomes_length_one(self):
+        bs = Bitstream(np.uint8(1))
+        assert bs.length == 1
+
+    def test_zeros_ones(self):
+        assert float(Bitstream.zeros(16).value()) == 0.0
+        assert float(Bitstream.ones(16).value()) == 1.0
+
+
+class TestValueRecovery:
+    def test_value(self):
+        assert float(Bitstream([1, 0, 1, 0, 1]).value()) == pytest.approx(0.6)
+
+    def test_popcount_batch(self):
+        bs = Bitstream([[1, 1, 0], [0, 0, 0]])
+        assert list(bs.popcount()) == [2, 0]
+
+    def test_bipolar(self):
+        assert float(Bitstream([1, 1, 1, 1]).bipolar_value()) == 1.0
+        assert float(Bitstream([0, 0, 0, 0]).bipolar_value()) == -1.0
+        assert float(Bitstream([1, 0, 1, 0]).bipolar_value()) == 0.0
+
+
+class TestBernoulli:
+    def test_scalar_probability(self):
+        bs = Bitstream.bernoulli(0.5, 10_000, rng=0)
+        assert abs(float(bs.value()) - 0.5) < 0.02
+
+    def test_array_probability_shape(self):
+        p = np.array([0.1, 0.9])
+        bs = Bitstream.bernoulli(p, 64, rng=0)
+        assert bs.shape == (2, 64)
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ValueError):
+            Bitstream.bernoulli(1.5, 8)
+
+    def test_extreme_probabilities(self):
+        assert float(Bitstream.bernoulli(0.0, 128, rng=1).value()) == 0.0
+        assert float(Bitstream.bernoulli(1.0, 128, rng=1).value()) == 1.0
+
+
+class TestLogic:
+    def test_and_or_xor_invert(self):
+        a = Bitstream([1, 1, 0, 0])
+        b = Bitstream([1, 0, 1, 0])
+        assert (a & b) == Bitstream([1, 0, 0, 0])
+        assert (a | b) == Bitstream([1, 1, 1, 0])
+        assert (a ^ b) == Bitstream([0, 1, 1, 0])
+        assert (~a) == Bitstream([0, 0, 1, 1])
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            Bitstream([1, 0]) & Bitstream([1, 0, 1])
+
+    def test_type_error_on_raw_array(self):
+        with pytest.raises(TypeError):
+            Bitstream([1, 0]) & np.array([1, 0])
+
+
+class TestStructure:
+    def test_roll_preserves_value(self):
+        bs = Bitstream.bernoulli(0.37, 256, rng=3)
+        assert float(bs.roll(7).value()) == pytest.approx(float(bs.value()))
+
+    def test_concat_doubles_length(self):
+        a = Bitstream([1, 0])
+        b = Bitstream([1, 1])
+        assert a.concat(b).length == 4
+
+    def test_packed_roundtrip(self):
+        bs = Bitstream.bernoulli(0.5, 37, rng=5)   # non-multiple of 8
+        back = Bitstream.from_packed(bs.packed(), 37)
+        assert back == bs
+
+    def test_stack(self):
+        s = Bitstream.stack([Bitstream([1, 0]), Bitstream([0, 1])])
+        assert s.shape == (2, 2)
+
+    def test_reshape(self):
+        bs = Bitstream(np.zeros((6, 8), dtype=np.uint8))
+        assert bs.reshape(2, 3).shape == (2, 3, 8)
+
+    def test_getitem(self):
+        bs = Bitstream([[1, 0], [0, 1]])
+        assert bs[0] == Bitstream([1, 0])
+
+    def test_not_hashable(self):
+        with pytest.raises(TypeError):
+            hash(Bitstream([1]))
+
+    def test_repr_short_and_batch(self):
+        assert "1010" in repr(Bitstream([1, 0, 1, 0]))
+        assert "batch" in repr(Bitstream(np.zeros((2, 64), dtype=np.uint8)))

@@ -1,0 +1,120 @@
+"""Unit tests for repro.cmos (standard cells, components, design)."""
+
+import pytest
+
+from repro.cmos.components import (
+    Component,
+    comparator,
+    cordiv_unit,
+    counter,
+    gate_component,
+    lfsr,
+    mux_component,
+    sobol_generator,
+)
+from repro.cmos.design import CmosScDesign
+from repro.cmos.stdcell import CELLS, cell
+
+
+class TestStdCells:
+    def test_lookup(self):
+        assert cell("DFF").name == "DFF"
+        with pytest.raises(KeyError):
+            cell("FLUX_CAPACITOR")
+
+    def test_all_cells_positive(self):
+        for c in CELLS.values():
+            assert c.delay_ns > 0 and c.energy_pj > 0 and c.area_um2 > 0
+
+
+class TestComponents:
+    def test_compose_sums(self):
+        c = Component.compose("t", [("AND2", 2)], ["AND2"])
+        assert c.energy_pj == pytest.approx(2 * cell("AND2").energy_pj)
+        assert c.path_ns == pytest.approx(cell("AND2").delay_ns)
+
+    def test_lfsr_scales_with_bits(self):
+        assert lfsr(16).energy_pj > lfsr(8).energy_pj
+
+    def test_sobol_more_expensive_than_lfsr(self):
+        assert sobol_generator(8).energy_pj > lfsr(8).energy_pj
+
+    def test_comparator_path_dominates(self):
+        assert comparator(8).path_ns > lfsr(8).path_ns
+
+    def test_counter_width(self):
+        assert counter(9).energy_pj > counter(5).energy_pj
+
+    def test_gate_components(self):
+        for g in ("and2", "or2", "xor2"):
+            assert gate_component(g).energy_pj > 0
+        with pytest.raises(ValueError):
+            gate_component("nand3")
+
+    def test_mux_and_cordiv(self):
+        assert cordiv_unit().energy_pj > mux_component().energy_pj
+
+
+class TestDesign:
+    def test_table3_lfsr_row_anchor(self):
+        rows = CmosScDesign("lfsr").table_rows()
+        # Multiplication row anchors Table III exactly: 0.48 ns x 256.
+        assert rows["Multiplication"]["latency_ns"] == pytest.approx(122.88)
+        assert rows["Multiplication"]["energy_nj"] == pytest.approx(0.23,
+                                                                    rel=0.15)
+        assert rows["Subtraction"]["energy_nj"] == pytest.approx(0.16,
+                                                                 rel=0.1)
+
+    def test_all_rows_within_paper_envelope(self):
+        # Latency within 5% and energy within 35% of the published values.
+        paper = {
+            "lfsr": {"Multiplication": (122.88, 0.23), "Addition": (130.56, 0.26),
+                     "Subtraction": (133.12, 0.16), "Division": (133.12, 0.18)},
+            "sobol": {"Multiplication": (125.44, 0.30), "Addition": (130.56, 0.30),
+                      "Subtraction": (133.12, 0.12), "Division": (130.56, 0.14)},
+        }
+        for kind, expect in paper.items():
+            rows = CmosScDesign(kind).table_rows()
+            for op, (lat, en) in expect.items():
+                assert rows[op]["latency_ns"] == pytest.approx(lat, rel=0.05)
+                assert rows[op]["energy_nj"] == pytest.approx(en, rel=0.9)
+
+    def test_latency_linear_in_length(self):
+        d = CmosScDesign()
+        assert d.latency_ns("multiplication", 512) == pytest.approx(
+            2 * d.latency_ns("multiplication", 256))
+
+    def test_correlated_ops_share_rng(self):
+        d = CmosScDesign()
+        # Shared-RNG subtraction is cheaper per cycle than two-RNG mult.
+        assert d.cycle_energy_pj("abs_subtraction") < d.cycle_energy_pj(
+            "multiplication")
+
+    def test_flow_cost_includes_transfer(self):
+        d = CmosScDesign()
+        with_io = d.flow_cost({"multiplication": 1}, 64, io_bytes=4)
+        without = d.flow_cost({"multiplication": 1}, 64, io_bytes=0)
+        assert with_io.energy_j > without.energy_j
+        assert with_io.latency_s > without.latency_s
+
+    def test_parallel_units_divide_latency(self):
+        d = CmosScDesign()
+        one = d.flow_cost({"multiplication": 1}, 64, 0, parallel_units=1)
+        four = d.flow_cost({"multiplication": 1}, 64, 0, parallel_units=4)
+        assert four.latency_s == pytest.approx(one.latency_s / 4)
+        assert four.energy_j == pytest.approx(one.energy_j)
+
+    def test_area_positive(self):
+        assert CmosScDesign().area_um2("multiplication") > 0
+
+    def test_unknown_inputs(self):
+        with pytest.raises(ValueError):
+            CmosScDesign("qrng2")
+        with pytest.raises(ValueError):
+            CmosScDesign().latency_ns("frobnicate")
+
+    def test_throughput(self):
+        d = CmosScDesign()
+        t1 = d.throughput_ops_per_s("multiplication", 256)
+        t2 = d.throughput_ops_per_s("multiplication", 256, parallel_units=2)
+        assert t2 == pytest.approx(2 * t1)

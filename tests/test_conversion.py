@@ -1,0 +1,59 @@
+"""Unit tests for repro.core.conversion (S-to-B models)."""
+
+import numpy as np
+import pytest
+
+from repro.core.bitstream import Bitstream
+from repro.core.conversion import (
+    CounterConverter,
+    ExactConverter,
+    QuantizingConverter,
+)
+
+
+class TestExact:
+    def test_value(self):
+        assert float(ExactConverter().convert(Bitstream([1, 0, 1, 1]))) == 0.75
+
+
+class TestCounter:
+    def test_exact_when_wide_enough(self):
+        s = Bitstream.bernoulli(0.6, 256, rng=0)
+        assert float(CounterConverter().convert(s)) == float(s.value())
+
+    def test_saturation(self):
+        s = Bitstream.ones(64)
+        # A 4-bit counter saturates at 15 of 64 ones.
+        assert float(CounterConverter(width=4).convert(s)) == 15 / 64
+
+    def test_cycles_equal_length(self):
+        s = Bitstream.zeros(128)
+        assert CounterConverter().cycles(s) == 128
+
+    def test_bad_width(self):
+        with pytest.raises(ValueError):
+            CounterConverter(width=0)
+
+
+class TestQuantizing:
+    def test_noiseless_quantisation_error_bounded(self):
+        s = Bitstream.bernoulli(0.37, 1000, rng=1)
+        conv = QuantizingConverter(resolution_bits=8, noise_sigma=0.0)
+        out = float(conv.convert(s))
+        assert abs(out - float(s.value())) <= 1.0 / 255 + 1e-9
+
+    def test_low_resolution_coarse(self):
+        s = Bitstream.bernoulli(0.5, 1024, rng=2)
+        conv = QuantizingConverter(resolution_bits=2)
+        assert float(conv.convert(s)) in (0.0, 1 / 3, 2 / 3, 1.0)
+
+    def test_noise_perturbs(self):
+        s = Bitstream.bernoulli(0.5, 256, rng=3)
+        a = QuantizingConverter(8, noise_sigma=0.0).convert(s)
+        outs = [float(QuantizingConverter(8, noise_sigma=10.0, rng=i)
+                      .convert(s)) for i in range(20)]
+        assert np.std(outs) > 0.0
+
+    def test_bad_resolution(self):
+        with pytest.raises(ValueError):
+            QuantizingConverter(resolution_bits=0)

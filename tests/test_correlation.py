@@ -1,0 +1,81 @@
+"""Unit tests for repro.core.correlation (SCC metric)."""
+
+import numpy as np
+import pytest
+
+from repro.core.bitstream import Bitstream
+from repro.core.correlation import (
+    correlation_matrix,
+    decorrelate,
+    overlap_probability,
+    scc,
+)
+from repro.core.sng import ComparatorSng, unary_stream
+from repro.core.rng import SoftwareRng
+
+
+class TestScc:
+    def test_identical_streams_scc_one(self):
+        s = Bitstream.bernoulli(0.5, 1024, rng=0)
+        assert float(scc(s, s)) == pytest.approx(1.0)
+
+    def test_complementary_streams_scc_minus_one(self):
+        s = Bitstream.bernoulli(0.5, 1024, rng=0)
+        assert float(scc(s, ~s)) == pytest.approx(-1.0)
+
+    def test_independent_streams_near_zero(self):
+        a = Bitstream.bernoulli(0.5, 16384, rng=1)
+        b = Bitstream.bernoulli(0.5, 16384, rng=2)
+        assert abs(float(scc(a, b))) < 0.05
+
+    def test_constant_stream_convention_zero(self):
+        a = Bitstream.ones(64)
+        b = Bitstream.bernoulli(0.5, 64, rng=0)
+        assert float(scc(a, b)) == 0.0
+
+    def test_unary_maximal_overlap(self):
+        a = unary_stream(0.3, 128)
+        b = unary_stream(0.7, 128)
+        assert float(scc(a, b)) == pytest.approx(1.0)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            scc(Bitstream.zeros(8), Bitstream.zeros(4))
+
+    def test_batch_output_shape(self):
+        a = Bitstream.bernoulli(np.full(5, 0.5), 512, rng=3)
+        b = Bitstream.bernoulli(np.full(5, 0.5), 512, rng=4)
+        assert scc(a, b).shape == (5,)
+
+
+class TestOverlap:
+    def test_overlap_probability(self):
+        a = Bitstream([1, 1, 0, 0])
+        b = Bitstream([1, 0, 1, 0])
+        assert float(overlap_probability(a, b)) == 0.25
+
+
+class TestDecorrelate:
+    def test_preserves_value(self):
+        s = Bitstream.bernoulli(0.42, 1024, rng=5)
+        assert float(decorrelate(s).value()) == pytest.approx(
+            float(s.value()))
+
+    def test_reduces_scc(self):
+        sng = ComparatorSng(SoftwareRng(8, seed=6))
+        a, b = sng.generate_pair(0.5, 0.5, 4096, correlated=True)
+        assert float(scc(a, decorrelate(b))) < 0.3
+
+
+class TestCorrelationMatrix:
+    def test_diagonal_and_symmetry(self):
+        bits = np.stack([
+            Bitstream.bernoulli(0.5, 1024, rng=i).bits for i in range(3)])
+        m = correlation_matrix(Bitstream(bits))
+        assert m.shape == (3, 3)
+        assert np.allclose(m, m.T)
+        assert np.allclose(np.diag(m), 1.0)
+
+    def test_requires_flat_batch(self):
+        with pytest.raises(ValueError):
+            correlation_matrix(Bitstream(np.zeros((2, 2, 8), dtype=np.uint8)))

@@ -1,0 +1,79 @@
+"""Tests for repro.core.deterministic (exact SC via exhaustive pairing)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bitstream import Bitstream
+from repro.core.deterministic import (
+    clock_division_pair,
+    deterministic_multiply,
+    relatively_prime_pair,
+    rotation_pair,
+    unary_bits,
+)
+
+
+class TestUnaryBits:
+    def test_pattern(self):
+        assert list(unary_bits(0.5, 4)) == [1, 1, 0, 0]
+
+    def test_range(self):
+        with pytest.raises(ValueError):
+            unary_bits(1.5, 4)
+
+
+def _exact(x, y, lx, ly):
+    return (round(x * lx) / lx) * (round(y * ly) / ly)
+
+
+class TestPairings:
+    @pytest.mark.parametrize("x,y", [(0.5, 0.25), (0.3, 0.7), (1.0, 0.2),
+                                     (0.0, 0.9)])
+    def test_relatively_prime_exact(self, x, y):
+        a, b = relatively_prime_pair(x, y, 15, 16)
+        assert float((a & b).value()) == pytest.approx(_exact(x, y, 15, 16))
+
+    def test_relatively_prime_requires_coprime(self):
+        with pytest.raises(ValueError):
+            relatively_prime_pair(0.5, 0.5, 8, 16)
+
+    @pytest.mark.parametrize("x,y", [(0.5, 0.25), (0.3, 0.7), (0.9, 0.1)])
+    def test_rotation_exact(self, x, y):
+        a, b = rotation_pair(x, y, 16)
+        assert float((a & b).value()) == pytest.approx(_exact(x, y, 16, 16))
+
+    @pytest.mark.parametrize("x,y", [(0.5, 0.25), (0.3, 0.7)])
+    def test_clock_division_exact(self, x, y):
+        a, b = clock_division_pair(x, y, 16)
+        assert float((a & b).value()) == pytest.approx(_exact(x, y, 16, 16))
+
+    def test_lengths(self):
+        a, b = rotation_pair(0.5, 0.5, 8)
+        assert a.length == b.length == 64
+
+
+class TestDeterministicMultiply:
+    @pytest.mark.parametrize("scheme", ["rotation", "clock_division",
+                                        "relatively_prime"])
+    def test_schemes_agree(self, scheme):
+        # Quantisation differs per scheme (relatively-prime uses a 17-level
+        # grid for the second operand), so allow one grid step.
+        got = deterministic_multiply(0.5, 0.5, 16, scheme)
+        assert got == pytest.approx(0.25, abs=1 / 16 / 4 + 1e-9)
+
+    def test_unknown_scheme(self):
+        with pytest.raises(ValueError):
+            deterministic_multiply(0.5, 0.5, 16, "telepathy")
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 16), st.integers(0, 16))
+    def test_rotation_property_exact_on_grid(self, kx, ky):
+        # On the exact L-grid the result has zero error.
+        x = kx / 16
+        y = ky / 16
+        assert deterministic_multiply(x, y, 16, "rotation") == pytest.approx(
+            x * y, abs=1e-12)

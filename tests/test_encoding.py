@@ -1,0 +1,59 @@
+"""Unit tests for repro.core.encoding."""
+
+import numpy as np
+import pytest
+
+from repro.core import encoding as enc
+
+
+class TestUnipolar:
+    def test_identity(self):
+        assert enc.unipolar_to_prob(0.25) == 0.25
+        assert enc.prob_to_unipolar(0.25) == 0.25
+
+    def test_range_check(self):
+        with pytest.raises(ValueError):
+            enc.unipolar_to_prob(1.1)
+        with pytest.raises(ValueError):
+            enc.unipolar_to_prob(-0.1)
+
+
+class TestBipolar:
+    def test_mapping(self):
+        assert enc.bipolar_to_prob(0.0) == 0.5
+        assert enc.bipolar_to_prob(1.0) == 1.0
+        assert enc.bipolar_to_prob(-1.0) == 0.0
+
+    def test_roundtrip(self):
+        xs = np.linspace(-1, 1, 21)
+        assert np.allclose(enc.prob_to_bipolar(enc.bipolar_to_prob(xs)), xs)
+
+    def test_range_check(self):
+        with pytest.raises(ValueError):
+            enc.bipolar_to_prob(1.5)
+
+
+class TestQuantize:
+    def test_floor_semantics(self):
+        assert enc.quantize(0.999, 8) == 255
+        assert enc.quantize(0.0, 8) == 0
+        assert enc.quantize(0.5, 8) == 128
+
+    def test_one_maps_to_max_code(self):
+        assert enc.quantize(1.0, 8) == 255
+
+    def test_vectorised(self):
+        codes = enc.quantize(np.array([0.0, 0.5, 1.0]), 4)
+        assert list(codes) == [0, 8, 15]
+
+    def test_bad_bits(self):
+        with pytest.raises(ValueError):
+            enc.quantize(0.5, 0)
+
+    def test_binary_to_prob_roundtrip(self):
+        for code in (0, 17, 255):
+            p = enc.binary_to_prob(code, 8)
+            assert enc.prob_to_binary(p, 8) == code
+
+    def test_prob_to_binary_rounds(self):
+        assert enc.prob_to_binary(0.5, 8) == 128

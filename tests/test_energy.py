@@ -1,0 +1,173 @@
+"""Unit tests for repro.energy (ledger, params, NVMain-style simulator)."""
+
+import numpy as np
+import pytest
+
+from repro.energy.model import EnergyLedger, replay_trace
+from repro.energy.nvmain import MemorySystem, TraceRequest
+from repro.energy.params import DEFAULT_RERAM_COSTS, ReRamStepCosts
+from repro.energy.traces import (
+    imsng_trace,
+    pipelined_flow_trace,
+    sc_op_trace,
+    stob_trace,
+)
+from repro.reram.controller import Command
+
+
+class TestLedger:
+    def test_record_and_totals(self):
+        led = EnergyLedger()
+        led.record("a", 1e-9, 2e-9, count=3)
+        assert led.latency_ns == pytest.approx(3.0)
+        assert led.energy_nj == pytest.approx(6.0)
+
+    def test_overlapped_hides_latency(self):
+        led = EnergyLedger()
+        led.record("a", 1e-9, 1e-9, overlapped=True)
+        assert led.latency_s == 0.0
+        assert led.energy_j == 1e-9
+
+    def test_merge(self):
+        a = EnergyLedger()
+        a.record("x", 1e-9, 1e-9)
+        b = EnergyLedger()
+        b.record("y", 2e-9, 2e-9)
+        a.merge(b)
+        assert a.latency_ns == pytest.approx(3.0)
+        a.merge(b, overlapped=True)
+        assert a.latency_ns == pytest.approx(3.0)
+        assert a.energy_nj == pytest.approx(5.0)
+
+    def test_scaled(self):
+        led = EnergyLedger()
+        led.record("x", 1e-9, 1e-9)
+        s = led.scaled(10)
+        assert s.latency_ns == pytest.approx(10.0)
+        assert led.latency_ns == pytest.approx(1.0)   # original untouched
+
+    def test_breakdown(self):
+        led = EnergyLedger()
+        led.record("x", 1e-9, 2e-9)
+        bd = led.breakdown()
+        assert bd["x"]["latency_ns"] == pytest.approx(1.0)
+        assert bd["x"]["energy_nj"] == pytest.approx(2.0)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            EnergyLedger().record("x", 1, 1, count=-1)
+
+
+class TestReplayTrace:
+    def test_prices_commands(self):
+        trace = [Command("sl", gate="and", cells=256),
+                 Command("write", cells=256),
+                 Command("latch", cells=256),
+                 Command("read", cells=256)]
+        led = replay_trace(trace)
+        c = DEFAULT_RERAM_COSTS
+        expected = 2 * c.t_sense + c.t_write + c.t_latch
+        assert led.latency_s == pytest.approx(expected)
+
+    def test_write_energy_scales_with_cells(self):
+        lo = replay_trace([Command("write", cells=16)])
+        hi = replay_trace([Command("write", cells=256)])
+        assert hi.energy_j == pytest.approx(16 * lo.energy_j)
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            replay_trace([Command("teleport")])
+
+
+class TestParams:
+    def test_per_cell_scaling(self):
+        c = DEFAULT_RERAM_COSTS
+        assert c.sense_energy(c.row_width) == pytest.approx(c.e_sense_row)
+        assert c.write_energy(1) == pytest.approx(c.e_write_cell)
+
+    def test_scaled_override(self):
+        c2 = DEFAULT_RERAM_COSTS.scaled(t_sense=1e-9)
+        assert c2.t_sense == 1e-9
+        assert c2.t_write == DEFAULT_RERAM_COSTS.t_write
+
+
+class TestMemorySystem:
+    def test_serial_in_bank(self):
+        sys = MemorySystem(n_banks=1)
+        trace = [TraceRequest(0, "sense"), TraceRequest(0, "sense")]
+        res = sys.simulate(trace)
+        assert res.makespan_s == pytest.approx(2 * DEFAULT_RERAM_COSTS.t_sense)
+
+    def test_banks_overlap(self):
+        sys = MemorySystem(n_banks=2)
+        trace = [TraceRequest(0, "sense"), TraceRequest(1, "sense")]
+        res = sys.simulate(trace)
+        assert res.makespan_s == pytest.approx(DEFAULT_RERAM_COSTS.t_sense)
+
+    def test_dependency_serialises(self):
+        sys = MemorySystem(n_banks=2)
+        trace = [TraceRequest(0, "sense"),
+                 TraceRequest(1, "sense", depends_on=0)]
+        res = sys.simulate(trace)
+        assert res.makespan_s == pytest.approx(2 * DEFAULT_RERAM_COSTS.t_sense)
+
+    def test_bad_dependency(self):
+        sys = MemorySystem(n_banks=1)
+        with pytest.raises(ValueError):
+            sys.simulate([TraceRequest(0, "sense", depends_on=5)])
+
+    def test_bad_bank(self):
+        sys = MemorySystem(n_banks=1)
+        with pytest.raises(ValueError):
+            sys.simulate([TraceRequest(3, "sense")])
+
+    def test_utilisation(self):
+        sys = MemorySystem(n_banks=2)
+        res = sys.simulate([TraceRequest(0, "sense")])
+        u = res.utilisation()
+        assert u[0] == pytest.approx(1.0)
+        assert u[1] == 0.0
+
+    def test_empty_trace(self):
+        res = MemorySystem().simulate([])
+        assert res.makespan_s == 0.0
+
+
+class TestTraceGenerators:
+    def test_imsng_opt_matches_closed_form(self):
+        trace = imsng_trace(8, "opt")
+        res = MemorySystem(n_banks=1).simulate(trace)
+        from repro.imsc.cost import imsng_conversion_cost
+        closed = imsng_conversion_cost(8, "opt")
+        assert res.makespan_ns == pytest.approx(closed.latency_ns, rel=0.02)
+        assert res.energy_nj == pytest.approx(closed.energy_nj, rel=0.02)
+
+    def test_imsng_naive_matches_closed_form(self):
+        trace = imsng_trace(8, "naive")
+        res = MemorySystem(n_banks=1).simulate(trace)
+        from repro.imsc.cost import imsng_conversion_cost
+        closed = imsng_conversion_cost(8, "naive")
+        assert res.makespan_ns == pytest.approx(closed.latency_ns, rel=0.02)
+
+    def test_bad_mode(self):
+        with pytest.raises(ValueError):
+            imsng_trace(8, "other")
+
+    def test_sc_op_traces(self):
+        assert len(sc_op_trace("mul")) == 1
+        div = sc_op_trace("div", length=64)
+        assert len(div) == 128   # sense+latch per bit
+        with pytest.raises(ValueError):
+            sc_op_trace("frob")
+
+    def test_stob_trace(self):
+        t = stob_trace(conversions=8)
+        assert t[-1].kind == "adc"
+        assert t[-1].cells == 8
+
+    def test_pipelined_flow_overlaps_conversions(self):
+        serial = pipelined_flow_trace(4, n_banks=2)
+        parallel = pipelined_flow_trace(4, n_banks=5)
+        t_serial = MemorySystem(2).simulate(serial).makespan_s
+        t_parallel = MemorySystem(5).simulate(parallel).makespan_s
+        assert t_parallel < t_serial

@@ -1,0 +1,75 @@
+"""Tests for the extension features: bipolar ops, P2LSG, SCRIMP comparison."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.experiments import write_based_sng_comparison
+from repro.core import ops
+from repro.core.bitstream import Bitstream
+from repro.core.encoding import bipolar_to_prob, prob_to_bipolar
+from repro.core.rng import P2lsgRng
+from repro.core.sng import ComparatorSng
+
+
+class TestBipolarMultiplication:
+    def test_xnor_multiplies_bipolar_values(self):
+        # x = +0.5, y = -0.5 in bipolar -> product -0.25.
+        px = float(bipolar_to_prob(0.5))
+        py = float(bipolar_to_prob(-0.5))
+        sng = ComparatorSng()
+        a, b = sng.generate_pair(px, py, 32_768, correlated=False)
+        out = ops.mul_xnor(a, b)
+        assert float(prob_to_bipolar(float(out.value()))) == pytest.approx(
+            -0.25, abs=0.03)
+
+    def test_xnor_identity_with_ones(self):
+        s = Bitstream.bernoulli(0.7, 4096, rng=0)
+        ones = Bitstream.ones(4096)   # bipolar +1
+        out = ops.mul_xnor(s, ones)
+        assert np.array_equal(out.bits, s.bits)
+
+    def test_xnor_negation_with_zeros(self):
+        s = Bitstream.bernoulli(0.7, 4096, rng=0)
+        zeros = Bitstream.zeros(4096)  # bipolar -1
+        out = ops.mul_xnor(s, zeros)
+        assert np.array_equal(out.bits, (~s).bits)
+
+
+class TestP2lsg:
+    def test_low_discrepancy(self):
+        vals = P2lsgRng(8).integers(256)
+        assert len(set(int(v) for v in vals)) == 256
+
+    def test_offsets_differ(self):
+        a = P2lsgRng(8, offset=0).integers(64)
+        b = P2lsgRng(8, offset=0x5A).integers(64)
+        assert not np.array_equal(a, b)
+        assert len(set(int(v) for v in b)) == 64
+
+    def test_reset(self):
+        r = P2lsgRng(8, offset=3)
+        first = r.integers(16)
+        r.reset()
+        assert np.array_equal(r.integers(16), first)
+
+    def test_sng_accuracy_comparable_to_sobol(self):
+        from repro.core.accuracy import sng_mse
+        from repro.core.rng import SobolRng
+        p2 = sng_mse(ComparatorSng(P2lsgRng(8)), 256, samples=4_000, seed=0)
+        so = sng_mse(ComparatorSng(SobolRng(8)), 256, samples=4_000, seed=0)
+        assert p2 < 3 * so + 1e-3
+
+
+class TestWriteBasedComparison:
+    def test_endurance_ordering(self):
+        result = write_based_sng_comparison()
+        imsng = result["IMSNG-opt (read-based)"]
+        scrimp = result["SCRIMP-style (per 8-bit operand)"]
+        assert imsng["cell_writes"] < scrimp["cell_writes"]
+        assert imsng["latency_ns"] < scrimp["latency_ns"]
+
+    def test_fields_present(self):
+        result = write_based_sng_comparison(length=128)
+        for row in result.values():
+            assert set(row) == {"latency_ns", "energy_nj", "cell_writes"}
+            assert all(v >= 0 for v in row.values())

@@ -1,0 +1,94 @@
+"""Cross-module integration tests: full flows over multiple subsystems."""
+
+import numpy as np
+import pytest
+
+from repro.core import ops
+from repro.core.flow import ScFlow
+from repro.core.sng import SegmentSng
+from repro.energy.model import replay_trace
+from repro.energy.nvmain import MemorySystem
+from repro.energy.traces import pipelined_flow_trace
+from repro.imsc.engine import InMemorySCEngine
+from repro.imsc.imsng import ImsngUnit
+from repro.reram.faults import DEFAULT_FAULT_RATES, derive_fault_rates
+from repro.reram.trng import ReRamTrng
+
+
+class TestTrngToSngChain:
+    def test_reram_trng_drives_segment_sng(self):
+        """The physical TRNG plugs into the functional IMSNG model."""
+        sng = SegmentSng(ReRamTrng(bias=0.002, rng=0), segment_bits=8)
+        s = sng.generate(0.42, 30_000)
+        assert abs(float(s.value()) - 0.42) < 0.02
+
+    def test_flow_with_imsng_and_engine_converter(self):
+        """ScFlow orchestrates IMSNG streams + in-memory conversion."""
+        engine = InMemorySCEngine(rng=1)
+        flow = ScFlow(lambda s: ops.mul_and(s["a"], s["b"]),
+                      sng=engine, converter=engine)
+        res = flow.run({"a": 0.5, "b": 0.8}, length=2048)
+        assert float(res.value) == pytest.approx(0.4, abs=0.06)
+
+
+class TestBitExactVsVectorised:
+    def test_imsng_unit_and_engine_agree_statistically(self):
+        """The command-level unit and the vectorised engine implement the
+        same conversion semantics."""
+        unit_vals = []
+        for seed in range(5):
+            u = ImsngUnit(width=4096, mode="opt", rng=seed)
+            unit_vals.append(u.convert(0.37).bits.mean())
+        e = InMemorySCEngine(rng=99, trng_bias=0.0)
+        eng_vals = e.generate(np.full(5, 0.37), 4096).value()
+        assert abs(np.mean(unit_vals) - np.mean(eng_vals)) < 0.02
+
+    def test_trace_pricing_matches_engine_ledger_scaling(self):
+        """Replaying the unit's trace and the engine's closed-form ledger
+        agree on the conversion cost."""
+        u = ImsngUnit(width=256, mode="opt", rng=0)
+        u.load_operand(0.5)
+        u.load_random()
+        res = u.compare()
+        led = replay_trace(res.commands)
+        from repro.imsc.cost import imsng_conversion_cost
+        closed = imsng_conversion_cost(8, "opt")
+        assert led.latency_ns == pytest.approx(closed.latency_ns, rel=0.02)
+        assert led.energy_nj == pytest.approx(closed.energy_nj, rel=0.25)
+
+
+class TestDerivedRatesMatchDefaults:
+    def test_default_rates_near_derivation(self):
+        rates = derive_fault_rates(trials_per_case=16_384, seed=12345)
+        assert rates.and2 == pytest.approx(DEFAULT_FAULT_RATES.and2, abs=0.004)
+        assert rates.xor2 == pytest.approx(DEFAULT_FAULT_RATES.xor2, abs=0.004)
+        assert rates.maj3 == pytest.approx(DEFAULT_FAULT_RATES.maj3, abs=0.004)
+
+
+class TestPipelineSimulation:
+    def test_banked_flow_beats_single_bank(self):
+        trace4 = pipelined_flow_trace(n_operands=3, n_banks=4)
+        res4 = MemorySystem(4).simulate(trace4)
+        trace1 = pipelined_flow_trace(n_operands=3, n_banks=1)
+        res1 = MemorySystem(1).simulate(trace1)
+        assert res4.makespan_s < res1.makespan_s
+        # Energy is conserved regardless of banking.
+        assert res4.energy_j == pytest.approx(res1.energy_j, rel=0.01)
+
+
+class TestEndToEndQualityCost:
+    def test_single_run_yields_quality_and_cost(self):
+        from repro.apps import run_app
+        r = run_app("compositing", "sc", length=64, faulty=True, size=16,
+                    seed=3)
+        assert 0 < r.ssim_pct <= 100
+        assert r.ledger.energy_j > 0
+        bd = r.ledger.breakdown()
+        assert any(k.startswith("imsng") for k in bd)
+
+    def test_sc_beats_bincim_under_faults_on_matting(self):
+        from repro.apps import run_app
+        sc = run_app("matting", "sc", length=128, faulty=True, size=24,
+                     seed=5)
+        binary = run_app("matting", "bincim", faulty=True, size=24, seed=5)
+        assert sc.ssim_pct > binary.ssim_pct

@@ -1,0 +1,158 @@
+"""Unit tests for repro.logic (XAG + scouting-logic synthesis)."""
+
+import numpy as np
+import pytest
+
+from repro.logic.xag import LIT_FALSE, LIT_TRUE, Xag
+from repro.logic.synthesis import map_to_scouting
+
+
+def _vec(x):
+    return np.array(x, dtype=np.uint8)
+
+
+class TestXagConstruction:
+    def test_and_truth_table(self):
+        x = Xag()
+        a, b = x.add_input("a"), x.add_input("b")
+        x.add_output(x.add_and(a, b), "y")
+        out = x.evaluate({"a": _vec([0, 0, 1, 1]), "b": _vec([0, 1, 0, 1])})
+        assert list(out["y"]) == [0, 0, 0, 1]
+
+    def test_xor_truth_table(self):
+        x = Xag()
+        a, b = x.add_input("a"), x.add_input("b")
+        x.add_output(x.add_xor(a, b), "y")
+        out = x.evaluate({"a": _vec([0, 0, 1, 1]), "b": _vec([0, 1, 0, 1])})
+        assert list(out["y"]) == [0, 1, 1, 0]
+
+    def test_or_via_demorgan(self):
+        x = Xag()
+        a, b = x.add_input("a"), x.add_input("b")
+        x.add_output(x.add_or(a, b), "y")
+        out = x.evaluate({"a": _vec([0, 0, 1, 1]), "b": _vec([0, 1, 0, 1])})
+        assert list(out["y"]) == [0, 1, 1, 1]
+
+    def test_maj_truth_table(self):
+        x = Xag()
+        a, b, c = (x.add_input(n) for n in "abc")
+        x.add_output(x.add_maj(a, b, c), "y")
+        ins = [(i >> 2 & 1, i >> 1 & 1, i & 1) for i in range(8)]
+        out = x.evaluate({
+            "a": _vec([i[0] for i in ins]),
+            "b": _vec([i[1] for i in ins]),
+            "c": _vec([i[2] for i in ins])})
+        assert list(out["y"]) == [int(sum(i) >= 2) for i in ins]
+
+    def test_mux_truth_table(self):
+        x = Xag()
+        s, a, b = (x.add_input(n) for n in "sab")
+        x.add_output(x.add_mux(s, a, b), "y")
+        out = x.evaluate({"s": _vec([0, 0, 1, 1]), "a": _vec([1, 0, 1, 0]),
+                          "b": _vec([0, 1, 0, 1])})
+        assert list(out["y"]) == [1, 0, 0, 1]
+
+
+class TestSimplification:
+    def test_and_constants(self):
+        x = Xag()
+        a = x.add_input()
+        assert x.add_and(a, LIT_FALSE) == LIT_FALSE
+        assert x.add_and(a, LIT_TRUE) == a
+        assert x.add_and(a, a) == a
+        assert x.add_and(a, a ^ 1) == LIT_FALSE
+        assert x.num_gates == 0
+
+    def test_xor_constants(self):
+        x = Xag()
+        a = x.add_input()
+        assert x.add_xor(a, LIT_FALSE) == a
+        assert x.add_xor(a, LIT_TRUE) == (a ^ 1)
+        assert x.add_xor(a, a) == LIT_FALSE
+        assert x.add_xor(a, a ^ 1) == LIT_TRUE
+        assert x.num_gates == 0
+
+    def test_structural_hashing(self):
+        x = Xag()
+        a, b = x.add_input(), x.add_input()
+        g1 = x.add_and(a, b)
+        g2 = x.add_and(b, a)   # commuted
+        assert g1 == g2
+        assert x.num_gates == 1
+
+    def test_xor_complement_pushed_out(self):
+        x = Xag()
+        a, b = x.add_input(), x.add_input()
+        g1 = x.add_xor(a, b)
+        g2 = x.add_xor(a ^ 1, b)
+        assert g2 == (g1 ^ 1)
+        assert x.num_gates == 1
+
+    def test_bad_literal_rejected(self):
+        x = Xag()
+        a = x.add_input()
+        with pytest.raises(ValueError):
+            x.add_and(a, 999)
+
+
+class TestStats:
+    def test_counts_and_levels(self):
+        x = Xag()
+        a, b, c = (x.add_input() for _ in range(3))
+        x.add_output(x.add_and(x.add_xor(a, b), c))
+        counts = x.gate_counts()
+        assert counts["and"] == 1 and counts["xor"] == 1
+        assert x.levels() == 2
+        assert x.num_inputs == 3 and x.num_outputs == 1
+
+    def test_missing_input_raises(self):
+        x = Xag()
+        x.add_input("a")
+        x.add_output(x.constant(False))
+        with pytest.raises(KeyError):
+            x.evaluate({})
+
+
+class TestSynthesis:
+    def _gt4(self):
+        from repro.imsc.gtnetwork import build_gt_xag
+        return build_gt_xag(4)
+
+    def test_baseline_writes_every_gate(self):
+        xag = self._gt4()
+        sched = map_to_scouting(xag, "baseline")
+        assert sched.senses == xag.num_gates
+        assert sched.writes == xag.num_gates
+
+    def test_latch_strategy_fewer_writes(self):
+        xag = self._gt4()
+        base = map_to_scouting(xag, "baseline")
+        opt = map_to_scouting(xag, "latch")
+        assert opt.writes < base.writes
+        assert opt.senses == base.senses
+
+    def test_feedback_between_baseline_and_latch(self):
+        xag = self._gt4()
+        fb = map_to_scouting(xag, "feedback")
+        base = map_to_scouting(xag, "baseline")
+        opt = map_to_scouting(xag, "latch")
+        assert opt.writes <= fb.writes <= base.writes
+
+    def test_latency_energy_monotone(self):
+        xag = self._gt4()
+        base = map_to_scouting(xag, "baseline")
+        opt = map_to_scouting(xag, "latch")
+        t = (2.5e-9, 18.5e-9)
+        assert opt.latency(*t) < base.latency(*t)
+        e = (0.13e-9, 0.32e-9)
+        assert opt.energy(*e) < base.energy(*e)
+
+    def test_unknown_strategy(self):
+        with pytest.raises(ValueError):
+            map_to_scouting(self._gt4(), "magic")
+
+    def test_counts_dict(self):
+        sched = map_to_scouting(self._gt4(), "latch")
+        c = sched.counts()
+        assert set(c) == {"sense", "write", "latch"}
+        assert c["sense"] > 0

@@ -1,0 +1,86 @@
+"""Tests for repro.apps.neural (SC inference primitives)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.neural import ScDenseLayer, ScDotProduct, sc_dot_product
+from repro.imsc.engine import InMemorySCEngine
+from repro.reram.faults import DEFAULT_FAULT_RATES
+
+
+@pytest.fixture
+def engine():
+    return InMemorySCEngine(rng=0, ideal_stob=True)
+
+
+class TestDotProduct:
+    def test_matches_exact(self, engine):
+        x = np.array([0.5, -0.5, 0.8, -0.2])
+        w = np.array([0.6, 0.4, -0.7, 0.9])
+        got = sc_dot_product(engine, x, w, 16_384, rng=1)
+        assert got == pytest.approx(float(np.dot(x, w)) / 4, abs=0.06)
+
+    def test_orthogonal_is_zero(self, engine):
+        x = np.array([1.0, 1.0])
+        w = np.array([1.0, -1.0])
+        got = sc_dot_product(engine, x, w, 16_384, rng=2)
+        assert got == pytest.approx(0.0, abs=0.06)
+
+    def test_shape_validation(self, engine):
+        with pytest.raises(ValueError):
+            sc_dot_product(engine, np.zeros(3), np.zeros(4), 64)
+
+    def test_unit_wrapper(self, engine):
+        unit = ScDotProduct(np.array([1.0, 1.0]), length=8192)
+        x = np.array([0.5, 0.5])
+        assert unit(engine, x, rng=3) == pytest.approx(unit.exact(x),
+                                                       abs=0.06)
+
+    def test_weight_range(self):
+        with pytest.raises(ValueError):
+            ScDotProduct(np.array([2.0]))
+
+
+class TestDenseLayer:
+    def _layer(self):
+        # Two neurons preferring opposite input signs.
+        w = np.array([[0.9, 0.9], [-0.9, -0.9]])
+        return ScDenseLayer(w, length=4096)
+
+    def test_forward_matches_exact(self, engine):
+        layer = self._layer()
+        x = np.array([0.7, 0.5])
+        got = layer.forward(engine, x, rng=4)
+        assert np.allclose(got, layer.exact_forward(x), atol=0.08)
+
+    def test_predict_separates_classes(self, engine):
+        layer = self._layer()
+        assert layer.predict(engine, np.array([0.8, 0.6]), rng=5) == 0
+        assert layer.predict(engine, np.array([-0.8, -0.6]), rng=6) == 1
+
+    def test_prediction_robust_to_faults(self):
+        # Sign decisions survive CIM faults — the SC-NN robustness story.
+        engine = InMemorySCEngine(fault_rates=DEFAULT_FAULT_RATES, rng=7,
+                                  ideal_stob=True)
+        layer = self._layer()
+        correct = 0
+        for seed in range(10):
+            gen = np.random.default_rng(seed)
+            x = gen.uniform(0.3, 1.0, 2) * (1 if seed % 2 == 0 else -1)
+            expected = 0 if seed % 2 == 0 else 1
+            correct += int(layer.predict(engine, x, rng=seed) == expected)
+        assert correct >= 9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ScDenseLayer(np.zeros(3))
+        with pytest.raises(ValueError):
+            ScDenseLayer(np.full((2, 2), 1.5))
+        layer = self._layer()
+        with pytest.raises(ValueError):
+            layer.forward(InMemorySCEngine(rng=0), np.zeros(5))
+
+    def test_shapes(self):
+        layer = ScDenseLayer(np.zeros((3, 4)))
+        assert layer.in_features == 4
+        assert layer.out_features == 3

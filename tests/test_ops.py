@@ -1,0 +1,152 @@
+"""Unit tests for repro.core.ops (SC arithmetic semantics)."""
+
+import numpy as np
+import pytest
+
+from repro.core import ops
+from repro.core.bitstream import Bitstream
+from repro.core.sng import ComparatorSng
+from repro.core.rng import SoftwareRng
+
+
+def _sng(seed=0):
+    return ComparatorSng(SoftwareRng(8, seed=seed))
+
+
+N = 16384
+TOL = 0.03
+
+
+class TestMultiplication:
+    def test_expectation(self):
+        sng = _sng()
+        x, y = sng.generate_pair(0.6, 0.5, N, correlated=False)
+        assert float(ops.mul_and(x, y).value()) == pytest.approx(0.3, abs=TOL)
+
+    def test_zero_one_identities(self):
+        z = Bitstream.zeros(64)
+        o = Bitstream.ones(64)
+        s = Bitstream.bernoulli(0.5, 64, rng=0)
+        assert float(ops.mul_and(s, z).value()) == 0.0
+        assert np.array_equal(ops.mul_and(s, o).bits, s.bits)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            ops.mul_and(Bitstream.zeros(8), Bitstream.zeros(16))
+
+
+class TestScaledAddition:
+    def test_mux_expectation(self):
+        sng = _sng(1)
+        x, y = sng.generate_pair(0.8, 0.2, N, correlated=False)
+        sel = sng.generate(0.5, N)
+        out = ops.scaled_add_mux(x, y, sel)
+        assert float(out.value()) == pytest.approx(0.5, abs=TOL)
+
+    def test_maj_expectation(self):
+        sng = _sng(2)
+        x, y = sng.generate_pair(0.9, 0.1, N, correlated=False)
+        r = sng.generate(0.5, N)
+        out = ops.scaled_add_maj(x, y, r)
+        assert float(out.value()) == pytest.approx(0.5, abs=TOL)
+
+    def test_maj_is_bitwise_majority(self):
+        a = Bitstream([1, 1, 0, 0])
+        b = Bitstream([1, 0, 1, 0])
+        c = Bitstream([0, 1, 1, 0])
+        assert list(ops.scaled_add_maj(a, b, c).bits) == [1, 1, 1, 0]
+
+    def test_mux2_general_blend(self):
+        sng = _sng(3)
+        a = sng.generate(0.2, N)
+        b = sng.generate(0.9, N)
+        sel = sng.generate(0.25, N)
+        out = ops.mux2(sel, a, b)
+        assert float(out.value()) == pytest.approx(
+            0.75 * 0.2 + 0.25 * 0.9, abs=TOL)
+
+
+class TestMux4:
+    def test_bilinear_blend(self):
+        sng = _sng(4)
+        i00 = sng.generate(0.1, N)
+        i01 = sng.generate(0.3, N)
+        i10 = sng.generate(0.7, N)
+        i11 = sng.generate(0.9, N)
+        s0 = sng.generate(0.5, N)
+        s1 = sng.generate(0.25, N)
+        out = ops.mux4(s0, s1, i00, i01, i10, i11)
+        expected = (0.5 * (0.75 * 0.1 + 0.25 * 0.3)
+                    + 0.5 * (0.75 * 0.7 + 0.25 * 0.9))
+        assert float(out.value()) == pytest.approx(expected, abs=TOL)
+
+
+class TestOrAddition:
+    def test_small_operands(self):
+        sng = _sng(5)
+        x, y = sng.generate_pair(0.2, 0.3, N, correlated=False)
+        # exact is x + y - xy = 0.44
+        assert float(ops.add_or(x, y).value()) == pytest.approx(0.44, abs=TOL)
+
+
+class TestSubtraction:
+    def test_correlated_abs_difference(self):
+        sng = _sng(6)
+        x, y = sng.generate_pair(0.7, 0.25, N, correlated=True)
+        assert float(ops.sub_xor(x, y).value()) == pytest.approx(0.45, abs=TOL)
+
+    def test_uncorrelated_gives_wrong_answer(self):
+        # Sanity check of the correlation requirement itself.
+        sng = _sng(7)
+        x, y = sng.generate_pair(0.7, 0.25, N, correlated=False)
+        v = float(ops.sub_xor(x, y).value())
+        assert abs(v - 0.45) > 0.1   # p + q - 2pq = 0.6
+
+
+class TestMinMax:
+    def test_min(self):
+        sng = _sng(8)
+        x, y = sng.generate_pair(0.35, 0.8, N, correlated=True)
+        assert float(ops.min_and(x, y).value()) == pytest.approx(0.35, abs=TOL)
+
+    def test_max(self):
+        sng = _sng(9)
+        x, y = sng.generate_pair(0.35, 0.8, N, correlated=True)
+        assert float(ops.max_or(x, y).value()) == pytest.approx(0.8, abs=TOL)
+
+
+class TestDivision:
+    def test_cordiv_ratio(self):
+        sng = _sng(10)
+        x, y = sng.generate_pair(0.3, 0.6, N, correlated=True)
+        assert float(ops.div_cordiv(x, y).value()) == pytest.approx(
+            0.5, abs=0.05)
+
+    def test_cordiv_batch(self):
+        sng = _sng(11)
+        xs = np.array([0.2, 0.45])
+        ys = np.array([0.8, 0.9])
+        x, y = sng.generate_pair(xs, ys, N, correlated=True)
+        out = ops.div_cordiv(x, y).value()
+        assert np.allclose(out, xs / ys, atol=0.05)
+
+    def test_jk_ratio(self):
+        sng = _sng(12)
+        j = sng.generate(0.3, N)
+        k = sng.generate(0.6, N)
+        # JK flip-flop settles at j / (j + k) = 1/3.
+        assert float(ops.div_jk(j, k).value()) == pytest.approx(1 / 3, abs=0.05)
+
+    def test_jk_truth_table(self):
+        # J=1,K=0 sets; J=0,K=1 resets; J=K=1 toggles; J=K=0 holds.
+        j = Bitstream([1, 0, 1, 1, 0])
+        k = Bitstream([0, 1, 1, 1, 0])
+        out = ops.div_jk(j, k, init=0)
+        assert list(out.bits) == [1, 0, 1, 0, 0]
+
+
+class TestNot:
+    def test_complement(self):
+        s = Bitstream.bernoulli(0.3, N, rng=0)
+        assert float(ops.not_stream(s).value()) == pytest.approx(
+            1 - float(s.value()))

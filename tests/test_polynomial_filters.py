@@ -1,0 +1,134 @@
+"""Tests for repro.core.polynomial and repro.apps.filters."""
+
+import numpy as np
+import pytest
+
+from repro.apps.filters import (
+    contrast_stretch_float,
+    contrast_stretch_sc,
+    gamma_correct_float,
+    gamma_correct_sc,
+    mean_filter_float,
+    mean_filter_sc,
+    roberts_cross_float,
+    roberts_cross_sc,
+)
+from repro.apps.images import natural_scene
+from repro.apps.metrics import psnr
+from repro.core.bitstream import Bitstream
+from repro.core.polynomial import (
+    bernstein_eval_exact,
+    bernstein_eval_sc,
+    bernstein_from_power,
+)
+from repro.imsc.engine import InMemorySCEngine
+
+
+class TestBernstein:
+    def test_conversion_linear(self):
+        # f(x) = x -> Bernstein coefficients (0, 1/2, 1) for degree 2.
+        b = bernstein_from_power([0.0, 1.0, 0.0])
+        assert np.allclose(b, [0.0, 0.5, 1.0])
+
+    def test_exact_eval_matches_power_basis(self):
+        coeffs = [0.1, 0.3, 0.4]
+        b = bernstein_from_power(coeffs)
+        xs = np.linspace(0, 1, 11)
+        power = coeffs[0] + coeffs[1] * xs + coeffs[2] * xs ** 2
+        assert np.allclose(bernstein_eval_exact(b, xs), power)
+
+    def test_sc_eval_converges(self):
+        b = bernstein_from_power([0.0, 0.5, 0.5])   # (x + x^2)/2
+        n = b.size - 1
+        length = 8192
+        x = 0.6
+        gen = np.random.default_rng(0)
+        x_streams = [Bitstream.bernoulli(x, length, rng=int(gen.integers(1e6)))
+                     for _ in range(n)]
+        c_streams = [Bitstream.bernoulli(float(bk), length,
+                                         rng=int(gen.integers(1e6)))
+                     for bk in b]
+        out = bernstein_eval_sc(b, x_streams, c_streams)
+        assert float(out.value()) == pytest.approx(
+            float(bernstein_eval_exact(b, x)), abs=0.03)
+
+    def test_validation(self):
+        b = np.array([0.5, 0.5])
+        s = [Bitstream.zeros(8)]
+        with pytest.raises(ValueError):
+            bernstein_eval_sc([1.5, 0.0], s, s + s)
+        with pytest.raises(ValueError):
+            bernstein_eval_sc(b, [], s + s)
+        with pytest.raises(ValueError):
+            bernstein_eval_sc(b, s, s)
+
+
+@pytest.fixture
+def engine():
+    return InMemorySCEngine(rng=0, ideal_stob=True)
+
+
+@pytest.fixture
+def image():
+    return natural_scene(20, 20, np.random.default_rng(4))
+
+
+class TestRobertsCross:
+    def test_float_zero_on_constant(self):
+        assert np.allclose(roberts_cross_float(np.full((8, 8), 0.5)), 0.0)
+
+    def test_sc_tracks_reference(self, engine, image):
+        ref = roberts_cross_float(image)
+        out = roberts_cross_sc(engine, image, 512)
+        assert out.shape == ref.shape
+        assert np.abs(out - ref).mean() < 0.08
+
+    def test_detects_step_edge(self, engine):
+        img = np.zeros((10, 10))
+        img[:, 5:] = 1.0
+        out = roberts_cross_sc(engine, img, 512)
+        assert out[:, 4].mean() > 0.3        # on the edge
+        assert out[:, :3].mean() < 0.1       # flat region
+
+
+class TestMeanFilter:
+    def test_float(self):
+        img = np.arange(16, dtype=np.float64).reshape(4, 4) / 16
+        ref = mean_filter_float(img)
+        assert ref.shape == (3, 3)
+        assert ref[0, 0] == pytest.approx((img[0, 0] + img[0, 1]
+                                           + img[1, 0] + img[1, 1]) / 4)
+
+    def test_sc_tracks_reference(self, engine, image):
+        ref = mean_filter_float(image)
+        out = mean_filter_sc(engine, image, 512)
+        assert np.abs(out - ref).mean() < 0.06
+
+
+class TestGamma:
+    def test_float(self):
+        img = np.array([[0.25]])
+        assert gamma_correct_float(img, 0.5)[0, 0] == pytest.approx(0.5)
+
+    def test_sc_tracks_reference(self, engine, image):
+        ref = gamma_correct_float(image, 0.45)
+        out = gamma_correct_sc(engine, image, 512, gamma=0.45)
+        assert np.abs(out - ref).mean() < 0.08
+
+    def test_psnr_reasonable(self, engine, image):
+        ref = gamma_correct_float(image, 0.45)
+        out = gamma_correct_sc(engine, image, 1024, gamma=0.45)
+        assert psnr(ref, out) > 18
+
+
+class TestContrastStretch:
+    def test_float_endpoints(self):
+        img = np.array([[0.1, 0.2, 0.5, 0.8, 0.9]])
+        out = contrast_stretch_float(img, 0.2, 0.8)
+        assert out[0, 0] == 0.0 and out[0, 4] == 1.0
+        assert out[0, 2] == pytest.approx(0.5)
+
+    def test_sc_tracks_reference(self, engine, image):
+        ref = contrast_stretch_float(image)
+        out = contrast_stretch_sc(engine, image, 512)
+        assert np.abs(out - ref).mean() < 0.12

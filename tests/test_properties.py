@@ -1,0 +1,198 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.bincim.arith import BitSerialAlu, from_planes, to_planes
+from repro.core import ops
+from repro.core.bitstream import Bitstream
+from repro.core.correlation import scc
+from repro.core.encoding import binary_to_prob, quantize
+from repro.core.rng import Lfsr, SobolRng
+from repro.core.sng import ComparatorSng, unary_stream
+from repro.core.rng import SoftwareRng
+from repro.imsc.gtnetwork import gt_reference
+from repro.logic.xag import Xag
+
+common = settings(max_examples=40,
+                  suppress_health_check=[HealthCheck.too_slow], deadline=None)
+
+bits_lists = st.lists(st.integers(0, 1), min_size=1, max_size=256)
+
+
+class TestBitstreamProperties:
+    @common
+    @given(bits_lists)
+    def test_value_in_unit_interval(self, bits):
+        v = float(Bitstream(bits).value())
+        assert 0.0 <= v <= 1.0
+
+    @common
+    @given(bits_lists)
+    def test_complement_value(self, bits):
+        s = Bitstream(bits)
+        assert float((~s).value()) == pytest.approx(1.0 - float(s.value()))
+
+    @common
+    @given(bits_lists, st.integers(-300, 300))
+    def test_roll_preserves_popcount(self, bits, shift):
+        s = Bitstream(bits)
+        assert int(s.roll(shift).popcount()) == int(s.popcount())
+
+    @common
+    @given(bits_lists)
+    def test_pack_unpack_roundtrip(self, bits):
+        s = Bitstream(bits)
+        assert Bitstream.from_packed(s.packed(), s.length) == s
+
+    @common
+    @given(bits_lists, bits_lists)
+    def test_demorgan(self, a_bits, b_bits):
+        n = min(len(a_bits), len(b_bits))
+        a = Bitstream(a_bits[:n])
+        b = Bitstream(b_bits[:n])
+        assert (~(a & b)) == ((~a) | (~b))
+
+
+class TestOpsProperties:
+    @common
+    @given(st.floats(0, 1), st.floats(0, 1))
+    def test_unary_min_max_exact(self, x, y):
+        n = 64
+        a = unary_stream(x, n)
+        b = unary_stream(y, n)
+        assert float(ops.min_and(a, b).value()) == pytest.approx(
+            min(round(x * n) / n, round(y * n) / n))
+        assert float(ops.max_or(a, b).value()) == pytest.approx(
+            max(round(x * n) / n, round(y * n) / n))
+
+    @common
+    @given(st.floats(0, 1), st.floats(0, 1))
+    def test_unary_xor_abs_difference(self, x, y):
+        n = 128
+        a = unary_stream(x, n)
+        b = unary_stream(y, n)
+        expected = abs(round(x * n) - round(y * n)) / n
+        assert float(ops.sub_xor(a, b).value()) == pytest.approx(expected)
+
+    @common
+    @given(bits_lists, bits_lists, bits_lists)
+    def test_maj_between_and_or(self, xa, xb, xc):
+        n = min(len(xa), len(xb), len(xc))
+        a, b, c = (Bitstream(v[:n]) for v in (xa, xb, xc))
+        maj = ops.scaled_add_maj(a, b, c)
+        assert np.all((a & b & c).bits <= maj.bits)
+        assert np.all(maj.bits <= (a | b | c).bits)
+
+    @common
+    @given(st.integers(1, 2 ** 16))
+    def test_mux_identity_same_inputs(self, seed):
+        s = Bitstream.bernoulli(0.5, 64, rng=seed)
+        sel = Bitstream.bernoulli(0.5, 64, rng=seed + 1)
+        assert ops.mux2(sel, s, s) == s
+
+
+class TestSccProperties:
+    @common
+    @given(st.integers(0, 2 ** 16), st.integers(0, 2 ** 16))
+    def test_scc_bounds(self, s1, s2):
+        a = Bitstream.bernoulli(0.5, 128, rng=s1)
+        b = Bitstream.bernoulli(0.5, 128, rng=s2)
+        v = float(scc(a, b))
+        assert -1.0 <= v <= 1.0
+
+    @common
+    @given(st.floats(0.05, 0.95), st.floats(0.05, 0.95),
+           st.integers(0, 1000))
+    def test_shared_rng_pairs_scc_nonnegative(self, x, y, seed):
+        sng = ComparatorSng(SoftwareRng(8, seed=seed))
+        a, b = sng.generate_pair(x, y, 512, correlated=True)
+        assert float(scc(a, b)) >= -0.01
+
+
+class TestEncodingProperties:
+    @common
+    @given(st.floats(0, 1), st.integers(1, 12))
+    def test_quantize_within_one_lsb(self, x, bits):
+        code = int(quantize(x, bits))
+        recovered = float(binary_to_prob(code, bits))
+        assert abs(recovered - x) <= 1.0 / (1 << bits) + 1e-12
+
+
+class TestRngProperties:
+    @common
+    @given(st.integers(1, 255))
+    def test_lfsr_period_independent_of_seed(self, seed):
+        assert Lfsr(seed=seed).period == 255
+
+    @common
+    @given(st.integers(0, 8), st.integers(1, 64))
+    def test_sobol_values_in_range(self, dim, count):
+        vals = SobolRng(8, dim=dim).integers(count)
+        assert vals.min() >= 0 and vals.max() < 256
+
+
+class TestGtProperties:
+    @common
+    @given(st.lists(st.integers(0, 255), min_size=1, max_size=64),
+           st.integers(0, 255))
+    def test_gt_reference_matches_integer_compare(self, a_vals, b):
+        a = np.array(a_vals)
+        ap = np.stack([((a >> (7 - i)) & 1).astype(np.uint8)
+                       for i in range(8)])
+        bp = np.stack([np.full(a.size, (b >> (7 - i)) & 1, dtype=np.uint8)
+                       for i in range(8)])
+        assert np.array_equal(gt_reference(ap, bp), (a > b).astype(np.uint8))
+
+
+class TestXagProperties:
+    @common
+    @given(st.lists(st.integers(0, 3), min_size=1, max_size=30),
+           st.integers(0, 2 ** 10))
+    def test_random_xag_matches_numpy_eval(self, program, seed):
+        # Build a random XAG over 4 inputs and check evaluation against a
+        # direct numpy computation of the same expression DAG.
+        x = Xag()
+        gen = np.random.default_rng(seed)
+        names = ["a", "b", "c", "d"]
+        lits = [x.add_input(n) for n in names]
+        vals = {n: gen.integers(0, 2, 32).astype(np.uint8) for n in names}
+        ref = [vals[n].copy() for n in names]
+        for opcode in program:
+            i = int(gen.integers(0, len(lits)))
+            j = int(gen.integers(0, len(lits)))
+            if opcode % 2 == 0:
+                lits.append(x.add_and(lits[i], lits[j]))
+                ref.append(ref[i] & ref[j])
+            else:
+                lits.append(x.add_xor(lits[i], lits[j]))
+                ref.append(ref[i] ^ ref[j])
+        x.add_output(lits[-1], "out")
+        got = x.evaluate(vals)["out"]
+        assert np.array_equal(got, ref[-1])
+
+
+class TestBincimProperties:
+    @common
+    @given(st.lists(st.integers(0, 255), min_size=1, max_size=32),
+           st.lists(st.integers(0, 255), min_size=1, max_size=32))
+    def test_adder_matches_integer_addition(self, xs, ys):
+        n = min(len(xs), len(ys))
+        a = np.array(xs[:n])
+        b = np.array(ys[:n])
+        alu = BitSerialAlu()
+        out = from_planes(alu.add(to_planes(a, 8), to_planes(b, 8)))
+        assert np.array_equal(out, a + b)
+
+    @common
+    @given(st.lists(st.integers(0, 255), min_size=1, max_size=16),
+           st.integers(1, 255))
+    def test_divider_matches_integer_division(self, nums, den):
+        a = np.array(nums)
+        d = np.full(a.size, den)
+        alu = BitSerialAlu()
+        q = from_planes(alu.divide_fixed(to_planes(a, 8), to_planes(d, 8),
+                                         8, 8))
+        assert np.array_equal(q, (a * 256) // den)

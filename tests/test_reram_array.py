@@ -1,0 +1,107 @@
+"""Unit tests for repro.reram.array (crossbar model)."""
+
+import numpy as np
+import pytest
+
+from repro.reram.array import CrossbarArray
+
+
+class TestWriteRead:
+    def test_roundtrip(self):
+        arr = CrossbarArray(4, 64, rng=0)
+        data = np.random.default_rng(0).integers(0, 2, 64).astype(np.uint8)
+        arr.write_row(1, data)
+        assert np.array_equal(arr.read_row(1), data)
+
+    def test_differential_write_counts_switched_cells(self):
+        arr = CrossbarArray(2, 8, rng=0)
+        n1 = arr.write_row(0, np.ones(8, dtype=np.uint8))
+        n2 = arr.write_row(0, np.ones(8, dtype=np.uint8))   # no change
+        assert n1 == 8 and n2 == 0
+
+    def test_non_differential_always_pulses(self):
+        arr = CrossbarArray(2, 8, rng=0)
+        arr.write_row(0, np.ones(8, dtype=np.uint8))
+        n = arr.write_row(0, np.ones(8, dtype=np.uint8), differential=False)
+        assert n == 8
+
+    def test_write_resamples_resistance(self):
+        arr = CrossbarArray(1, 4, rng=0)
+        arr.write_row(0, np.ones(4, dtype=np.uint8))
+        r1 = arr.resistances.copy()
+        arr.write_row(0, np.ones(4, dtype=np.uint8), differential=False)
+        assert not np.allclose(arr.resistances, r1)
+
+    def test_block_write(self):
+        arr = CrossbarArray(4, 8, rng=0)
+        block = np.eye(3, 8, dtype=np.uint8)
+        arr.write_block(1, block)
+        assert np.array_equal(arr.states[1:4], block)
+
+    def test_bad_row_data(self):
+        arr = CrossbarArray(2, 4, rng=0)
+        with pytest.raises(ValueError):
+            arr.write_row(0, np.array([0, 1, 2, 1]))
+        with pytest.raises(ValueError):
+            arr.write_row(0, np.zeros(5, dtype=np.uint8))
+        with pytest.raises(IndexError):
+            arr.write_row(9, np.zeros(4, dtype=np.uint8))
+
+    def test_states_view_readonly(self):
+        arr = CrossbarArray(2, 4, rng=0)
+        with pytest.raises(ValueError):
+            arr.states[0, 0] = 1
+
+
+class TestAnalog:
+    def test_bitline_currents_scale_with_lrs_count(self):
+        arr = CrossbarArray(3, 128, rng=1)
+        arr.write_row(0, np.ones(128, dtype=np.uint8))
+        arr.write_row(1, np.ones(128, dtype=np.uint8))
+        one = CrossbarArray(3, 128, rng=1)
+        one.write_row(0, np.ones(128, dtype=np.uint8))
+        i_two = arr.bitline_currents([0, 1]).mean()
+        i_one = one.bitline_currents([0, 1]).mean()   # row1 is HRS
+        assert i_two > 1.5 * i_one
+
+    def test_bitline_requires_rows(self):
+        arr = CrossbarArray(2, 4, rng=0)
+        with pytest.raises(ValueError):
+            arr.bitline_currents([])
+
+    def test_reference_column_counts_ones(self):
+        arr = CrossbarArray(64, 4, rng=2)
+        for r in range(64):
+            arr.write_row(r, np.ones(4, dtype=np.uint8))
+        v = np.zeros(64)
+        v[:16] = 0.2
+        i16 = arr.reference_column_current(0, v)
+        v[:32] = 0.2
+        i32 = arr.reference_column_current(0, v)
+        assert i32 == pytest.approx(2 * i16, rel=0.25)
+
+    def test_reference_column_validation(self):
+        arr = CrossbarArray(4, 4, rng=0)
+        with pytest.raises(IndexError):
+            arr.reference_column_current(9, np.zeros(4))
+        with pytest.raises(ValueError):
+            arr.reference_column_current(0, np.zeros(3))
+
+
+class TestStats:
+    def test_counters(self):
+        arr = CrossbarArray(4, 8, rng=0)
+        arr.write_row(0, np.ones(8, dtype=np.uint8))
+        arr.read_row(0)
+        arr.bitline_currents([0, 1])
+        assert arr.stats.row_writes == 1
+        assert arr.stats.row_reads == 1
+        assert arr.stats.multi_row_activations == 1
+        assert arr.stats.cells_written == 8
+
+    def test_endurance_tracking(self):
+        arr = CrossbarArray(1, 4, rng=0)
+        for i in range(10):
+            arr.write_row(0, np.full(4, i % 2, dtype=np.uint8))
+        assert arr.max_cell_writes == 9   # first write was all-zero no-op
+        assert 0 < arr.endurance_fraction_used() < 1

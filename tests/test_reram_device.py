@@ -1,0 +1,76 @@
+"""Unit tests for repro.reram.device (VCM cell model)."""
+
+import numpy as np
+import pytest
+
+from repro.reram.device import DEFAULT_DEVICE, DeviceParams, ReRamDevice
+
+
+class TestDistributions:
+    def test_lrs_hrs_medians(self, rng):
+        dev = ReRamDevice(rng=rng)
+        lrs = dev.sample_resistance(np.ones(20_000))
+        hrs = dev.sample_resistance(np.zeros(20_000))
+        assert np.median(lrs) == pytest.approx(DEFAULT_DEVICE.lrs_mean, rel=0.05)
+        assert np.median(hrs) == pytest.approx(DEFAULT_DEVICE.hrs_mean, rel=0.05)
+
+    def test_hrs_wider_than_lrs(self, rng):
+        dev = ReRamDevice(rng=rng)
+        lrs = np.log(dev.sample_resistance(np.ones(20_000)))
+        hrs = np.log(dev.sample_resistance(np.zeros(20_000)))
+        assert hrs.std() > 2 * lrs.std()
+
+    def test_states_shape_preserved(self, rng):
+        dev = ReRamDevice(rng=rng)
+        r = dev.sample_resistance(np.zeros((4, 7)))
+        assert r.shape == (4, 7)
+
+
+class TestReads:
+    def test_read_noise_fluctuates(self, rng):
+        dev = ReRamDevice(rng=rng)
+        r = np.full(1, 10e3)
+        reads = np.array([dev.read_conductance(r)[0] for _ in range(100)])
+        assert reads.std() > 0
+
+    def test_read_current_ohms_law(self, rng):
+        p = DeviceParams(read_noise_sigma=0.0)
+        dev = ReRamDevice(p, rng=rng)
+        i = dev.read_current(np.array([10e3]))[0]
+        assert i == pytest.approx(p.read_voltage / 10e3, rel=1e-9)
+
+    def test_custom_voltage(self, rng):
+        p = DeviceParams(read_noise_sigma=0.0)
+        dev = ReRamDevice(p, rng=rng)
+        i = dev.read_current(np.array([10e3]), voltage=0.4)[0]
+        assert i == pytest.approx(0.4 / 10e3, rel=1e-9)
+
+
+class TestSwitching:
+    def test_half_probability_at_v50(self):
+        dev = ReRamDevice()
+        assert dev.set_probability(DEFAULT_DEVICE.v_set50) == pytest.approx(0.5)
+        assert dev.reset_probability(DEFAULT_DEVICE.v_reset50) == pytest.approx(0.5)
+
+    def test_monotone_in_voltage(self):
+        dev = ReRamDevice()
+        assert dev.set_probability(1.6) > dev.set_probability(1.2)
+
+    def test_stochastic_set_rate(self, rng):
+        dev = ReRamDevice(rng=rng)
+        bits = dev.stochastic_set(50_000)
+        assert abs(bits.mean() - 0.5) < 0.02
+
+
+class TestHelpers:
+    def test_single_ref_between_states(self):
+        p = DEFAULT_DEVICE
+        iref = ReRamDevice().single_ref_current()
+        i_lrs = p.read_voltage / p.lrs_mean
+        i_hrs = p.read_voltage / p.hrs_mean
+        assert i_hrs < iref < i_lrs
+
+    def test_scaled_override(self):
+        p2 = DEFAULT_DEVICE.scaled(hrs_sigma=0.9)
+        assert p2.hrs_sigma == 0.9
+        assert p2.lrs_mean == DEFAULT_DEVICE.lrs_mean

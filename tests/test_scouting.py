@@ -1,0 +1,153 @@
+"""Unit tests for repro.reram.scouting and periphery."""
+
+import numpy as np
+import pytest
+
+from repro.reram.array import CrossbarArray
+from repro.reram.device import DeviceParams
+from repro.reram.periphery import LatchPair, SenseAmp, WriteDriver
+from repro.reram.scouting import ScoutingLogic
+
+
+IDEAL = DeviceParams(lrs_sigma=0.01, hrs_sigma=0.01, read_noise_sigma=0.001)
+
+
+def _arr_with(rows, cols=64, params=IDEAL, seed=0):
+    arr = CrossbarArray(len(rows), cols, params=params, rng=seed)
+    for i, fill in enumerate(rows):
+        arr.write_row(i, np.asarray(fill, dtype=np.uint8))
+    return arr
+
+
+def _patterns(cols, seed):
+    gen = np.random.default_rng(seed)
+    return gen.integers(0, 2, cols).astype(np.uint8)
+
+
+class TestGatesIdealDevice:
+    @pytest.mark.parametrize("gate,fn", [
+        ("and", lambda a, b: a & b),
+        ("or", lambda a, b: a | b),
+        ("xor", lambda a, b: a ^ b),
+        ("nand", lambda a, b: 1 - (a & b)),
+        ("nor", lambda a, b: 1 - (a | b)),
+        ("xnor", lambda a, b: 1 - (a ^ b)),
+    ])
+    def test_two_input_gates(self, gate, fn):
+        a = _patterns(64, 1)
+        b = _patterns(64, 2)
+        arr = _arr_with([a, b])
+        sl = ScoutingLogic(arr)
+        assert np.array_equal(sl.gate(gate, [0, 1]), fn(a, b))
+
+    def test_maj3(self):
+        a, b, c = _patterns(64, 3), _patterns(64, 4), _patterns(64, 5)
+        arr = _arr_with([a, b, c])
+        sl = ScoutingLogic(arr)
+        expected = ((a & b) | (a & c) | (b & c)).astype(np.uint8)
+        assert np.array_equal(sl.maj3([0, 1, 2]), expected)
+
+    def test_wide_and_or(self):
+        rows = [_patterns(64, s) for s in (6, 7, 8, 9)]
+        arr = _arr_with(rows)
+        sl = ScoutingLogic(arr)
+        expected_and = rows[0] & rows[1] & rows[2] & rows[3]
+        expected_or = rows[0] | rows[1] | rows[2] | rows[3]
+        assert np.array_equal(sl.and_(list(range(4))), expected_and)
+        assert np.array_equal(sl.or_(list(range(4))), expected_or)
+
+    def test_not(self):
+        a = _patterns(64, 10)
+        arr = _arr_with([a])
+        sl = ScoutingLogic(arr)
+        assert np.array_equal(sl.not_(0), 1 - a)
+
+    def test_arity_checks(self):
+        arr = _arr_with([_patterns(64, 0), _patterns(64, 1)])
+        sl = ScoutingLogic(arr)
+        with pytest.raises(ValueError):
+            sl.xor([0])
+        with pytest.raises(ValueError):
+            sl.maj3([0, 1])
+        with pytest.raises(ValueError):
+            sl.gate("frob", [0, 1])
+
+    def test_reference_ordering(self):
+        arr = _arr_with([_patterns(8, 0), _patterns(8, 1)], cols=8)
+        sl = ScoutingLogic(arr)
+        assert sl.reference(2, 1) < sl.reference(2, 2)
+        with pytest.raises(ValueError):
+            sl.reference(2, 3)
+
+
+class TestVariabilityInducedErrors:
+    def test_realistic_device_has_nonzero_error(self):
+        # With default VCM spreads, repeated AND ops across fresh cells
+        # should show a small but positive error rate.
+        errors = 0
+        total = 0
+        arr = CrossbarArray(2, 4096, rng=3)
+        sl = ScoutingLogic(arr)
+        for fill in ((1, 1), (1, 0)):
+            arr.write_row(0, np.full(4096, fill[0], dtype=np.uint8),
+                          differential=False)
+            arr.write_row(1, np.full(4096, fill[1], dtype=np.uint8),
+                          differential=False)
+            out = sl.and_([0, 1])
+            errors += int(np.count_nonzero(out != (fill[0] & fill[1])))
+            total += 4096
+        assert 0 < errors < 0.05 * total
+
+
+class TestSenseAmp:
+    def test_ideal_compare(self):
+        sa = SenseAmp()
+        out = sa.compare(np.array([1.0, 3.0]), 2.0)
+        assert list(out) == [0, 1]
+
+    def test_window(self):
+        sa = SenseAmp()
+        out = sa.window(np.array([0.5, 1.5, 2.5]), 1.0, 2.0)
+        assert list(out) == [0, 1, 0]
+
+    def test_offset_noise_causes_flips(self):
+        sa = SenseAmp(offset_sigma=1.0, rng=0)
+        outs = sa.compare(np.full(10_000, 2.0), 2.0)
+        assert 0.3 < outs.mean() < 0.7
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ValueError):
+            SenseAmp(offset_sigma=-1)
+
+
+class TestLatchPair:
+    def test_predicated_store(self):
+        lp = LatchPair(4)
+        lp.load_flag(np.array([1, 1, 0, 0], dtype=np.uint8))
+        out = lp.predicated_store(np.array([1, 0, 1, 0], dtype=np.uint8))
+        assert list(out) == [1, 0, 0, 0]
+
+    def test_flag_and_not(self):
+        lp = LatchPair(3)
+        lp.update_flag_and_not(np.array([0, 1, 0], dtype=np.uint8))
+        assert list(lp.flag) == [1, 0, 1]
+
+    def test_width_check(self):
+        lp = LatchPair(2)
+        with pytest.raises(ValueError):
+            lp.load_data(np.zeros(3, dtype=np.uint8))
+
+
+class TestWriteDriver:
+    def test_differential_mask(self):
+        lp = LatchPair(4)
+        lp.load_data(np.array([1, 0, 1, 0], dtype=np.uint8))
+        wd = WriteDriver(lp)
+        mask = wd.differential_mask(np.array([1, 1, 0, 0], dtype=np.uint8))
+        assert list(mask) == [0, 1, 1, 0]
+
+    def test_feedback_voltage(self):
+        lp = LatchPair(2)
+        lp.load_data(np.array([1, 0], dtype=np.uint8))
+        wd = WriteDriver(lp, v_high=0.2)
+        assert list(wd.feedback_voltage()) == [0.2, 0.0]

@@ -1,0 +1,126 @@
+"""Unit tests for repro.core.sng."""
+
+import numpy as np
+import pytest
+
+from repro.core.correlation import scc
+from repro.core.rng import CounterRng, SobolRng, SoftwareRng
+from repro.core.sng import (
+    BiasedBitSource,
+    ComparatorSng,
+    IdealBitSource,
+    SegmentSng,
+    unary_stream,
+)
+
+
+class TestComparatorSng:
+    def test_mean_value(self):
+        sng = ComparatorSng(SoftwareRng(8, seed=0))
+        s = sng.generate(0.3, 20_000)
+        assert abs(float(s.value()) - 0.3) < 0.02
+
+    def test_batch_shape(self):
+        sng = ComparatorSng(SoftwareRng(8, seed=0))
+        x = np.full((3, 4), 0.5)
+        s = sng.generate(x, 64)
+        assert s.shape == (3, 4, 64)
+
+    def test_sobol_exact_at_full_period(self):
+        # 8-bit Sobol over N=256 represents any 8-bit value exactly.
+        sng = ComparatorSng(SobolRng(8))
+        s = sng.generate(100 / 256.0, 256)
+        assert float(s.value()) == pytest.approx(100 / 256.0)
+
+    def test_correlated_pair_scc_one(self):
+        sng = ComparatorSng(SoftwareRng(8, seed=1))
+        a, b = sng.generate_pair(0.4, 0.7, 4096, correlated=True)
+        assert float(scc(a, b)) == pytest.approx(1.0, abs=0.05)
+
+    def test_uncorrelated_pair_scc_zero(self):
+        sng = ComparatorSng(SoftwareRng(8, seed=1))
+        a, b = sng.generate_pair(0.4, 0.7, 8192, correlated=False)
+        assert abs(float(scc(a, b))) < 0.1
+
+    def test_generate_correlated_shares_rn_across_batch(self):
+        sng = ComparatorSng(SoftwareRng(8, seed=1))
+        s = sng.generate_correlated(np.array([0.5, 0.5]), 512)
+        # Identical values + shared RN => identical streams.
+        assert np.array_equal(s.bits[0], s.bits[1])
+
+    def test_pair_batch_size_mismatch(self):
+        sng = ComparatorSng()
+        with pytest.raises(ValueError):
+            sng.generate_pair(np.zeros(2), np.zeros(3), 8, correlated=True)
+
+
+class TestSegmentSng:
+    def test_mean_value(self):
+        sng = SegmentSng(IdealBitSource(seed=0), segment_bits=8)
+        s = sng.generate(0.7, 20_000)
+        assert abs(float(s.value()) - 0.7) < 0.02
+
+    def test_small_m_quantises(self):
+        # M=5 sees only 32 levels: 0.7 -> floor(0.7*32)/32.
+        sng = SegmentSng(IdealBitSource(seed=0), segment_bits=5)
+        s = sng.generate(0.7, 50_000)
+        assert abs(float(s.value()) - 22 / 32) < 0.01
+
+    def test_correlated_pair(self):
+        sng = SegmentSng(IdealBitSource(seed=2))
+        a, b = sng.generate_pair(0.3, 0.8, 4096, correlated=True)
+        assert float(scc(a, b)) == pytest.approx(1.0, abs=0.05)
+
+    def test_bad_segment_bits(self):
+        with pytest.raises(ValueError):
+            SegmentSng(segment_bits=0)
+
+    def test_biased_source_biases_streams(self):
+        # A positively biased TRNG makes random numbers larger, so the
+        # comparison X > RN fires less often.
+        fair = SegmentSng(BiasedBitSource(0.0, seed=3), segment_bits=8)
+        skew = SegmentSng(BiasedBitSource(0.2, seed=3), segment_bits=8)
+        v_fair = float(fair.generate(0.5, 30_000).value())
+        v_skew = float(skew.generate(0.5, 30_000).value())
+        assert v_skew < v_fair
+
+
+class TestBitSources:
+    def test_ideal_balance(self):
+        bits = IdealBitSource(seed=0).random_bits(100_000)
+        assert abs(bits.mean() - 0.5) < 0.01
+
+    def test_biased_mean(self):
+        bits = BiasedBitSource(bias=0.1, seed=0).random_bits(100_000)
+        assert abs(bits.mean() - 0.6) < 0.01
+
+    def test_bias_bounds(self):
+        with pytest.raises(ValueError):
+            BiasedBitSource(bias=0.6)
+        with pytest.raises(ValueError):
+            BiasedBitSource(autocorr=1.5)
+
+    def test_autocorrelation_sign(self):
+        bits = BiasedBitSource(autocorr=0.5, seed=0).random_bits(20_000)
+        x = bits.astype(float) - bits.mean()
+        rho = float(np.sum(x[:-1] * x[1:]) / np.sum(x * x))
+        assert rho > 0.2
+
+
+class TestUnary:
+    def test_thermometer_shape(self):
+        s = unary_stream(0.5, 8)
+        assert list(s.bits) == [1, 1, 1, 1, 0, 0, 0, 0]
+
+    def test_exact_value(self):
+        for x in (0.0, 0.25, 1.0):
+            assert float(unary_stream(x, 32).value()) == pytest.approx(x)
+
+    def test_range_check(self):
+        with pytest.raises(ValueError):
+            unary_stream(1.2, 8)
+
+    def test_pairwise_scc_positive(self):
+        a = unary_stream(0.4, 64)
+        b = unary_stream(0.8, 64)
+        assert float(scc(a, b)) == pytest.approx(1.0)
