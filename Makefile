@@ -1,0 +1,28 @@
+# Developer entry points.  The tier-1 suite must pass under BOTH execution
+# backends (see src/repro/core/backend.py); `make test` enforces that.
+
+PYTHON ?= python
+PYTEST = PYTHONPATH=src $(PYTHON) -m pytest
+
+.PHONY: test test-unpacked test-packed bench-smoke bench-backend bench
+
+test: test-unpacked test-packed
+
+test-unpacked:
+	REPRO_BACKEND=unpacked $(PYTEST) -x -q
+
+test-packed:
+	REPRO_BACKEND=packed $(PYTEST) -x -q
+
+# Quick packed-vs-unpacked throughput check (~seconds).
+bench-smoke:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_backend.py \
+		--length 131072 --batch 128 --repeats 2
+
+# Full acceptance-scale backend benchmark (1e6-bit x 1024-stream chain).
+bench-backend:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_backend.py
+
+# Full reproduction report (all tables/figures).
+bench:
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/ --benchmark-only -s

@@ -11,6 +11,10 @@ Usage::
     python -m repro imsng
     python -m repro all
 
+Every target accepts ``--backend {unpacked,packed}`` to pick the
+bit-stream execution backend (default: the ``REPRO_BACKEND`` environment
+variable, falling back to ``unpacked``).
+
 Prints ASCII renderings of the paper's tables/figures using the same
 experiment runners the benchmark suite drives.
 """
@@ -23,6 +27,7 @@ from typing import List, Optional
 
 from .analysis import experiments as ex
 from .analysis.tables import render_table
+from .core.backend import available_backends, set_backend
 
 __all__ = ["main"]
 
@@ -118,7 +123,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--size", type=int, default=32,
                         help="scene edge length for table IV")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--backend", choices=available_backends(),
+                        default=None,
+                        help="bit-stream execution backend (overrides the "
+                             "REPRO_BACKEND environment variable)")
     args = parser.parse_args(argv)
+
+    if args.backend is not None:
+        set_backend(args.backend)
 
     dispatch = {
         "table1": lambda: _print_table1(args),

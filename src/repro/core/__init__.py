@@ -5,6 +5,16 @@ stochastic-computing semantics that both the CMOS baseline and the in-ReRAM
 engine implement.
 """
 
+from .backend import (
+    ExecutionBackend,
+    PackedBackend,
+    UnpackedBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+    set_backend,
+    use_backend,
+)
 from .bitstream import Bitstream
 from .encoding import (
     binary_to_prob,
@@ -53,6 +63,9 @@ from .flow import FlowResult, ScFlow
 from . import ops
 
 __all__ = [
+    "ExecutionBackend", "PackedBackend", "UnpackedBackend",
+    "available_backends", "get_backend", "register_backend", "set_backend",
+    "use_backend",
     "Bitstream",
     "binary_to_prob", "bipolar_to_prob", "prob_to_binary", "prob_to_bipolar",
     "prob_to_unipolar", "quantize", "unipolar_to_prob",

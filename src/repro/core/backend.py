@@ -1,0 +1,388 @@
+"""Pluggable execution backends for bit-stream storage and bulk logic.
+
+Every SC primitive in this library is a bulk bitwise operation over the
+stream axis, so the *representation* of a stream decides how much memory
+each op moves.  An :class:`ExecutionBackend` owns that decision: it packs
+0/1 bit arrays into an opaque per-backend payload and executes the logic
+primitives (AND/OR/XOR/NOT/MAJ/MUX), popcount-based value recovery, and
+comparator-style generation directly on that payload.
+
+Two backends ship with the library:
+
+* ``unpacked`` — the historical representation: one ``uint8`` byte per bit.
+  Zero conversion cost, byte-level memory traffic.
+* ``packed`` — 64 stream bits per ``uint64`` word (``numpy.packbits`` bit
+  order, i.e. MSB-first within each byte).  Bulk logic and popcount run on
+  words, moving 8x less memory than the unpacked path; tail bits past the
+  stream length are kept at zero (the *canonical form* every method relies
+  on), so NOT is implemented as XOR with a cached tail-masked all-ones
+  vector.
+
+The active backend is resolved, in order, from :func:`set_backend` /
+:func:`use_backend` calls, the ``REPRO_BACKEND`` environment variable, and
+finally the ``unpacked`` default.  :class:`~repro.core.bitstream.Bitstream`
+consults the registry on construction, so flipping the environment variable
+re-routes the whole library — ops, SNGs, correlation, the in-memory engine —
+without touching call sites.
+
+Adding a third backend is three steps: subclass :class:`ExecutionBackend`,
+implement the abstract methods (the structural defaults — ``roll`` etc. —
+fall back to unpack/transform/pack and may be overridden for speed), and
+call :func:`register_backend`.  ``tests/test_backend_equivalence.py`` is the
+conformance suite: parametrise it over the new name and every op is checked
+bit-exactly against the unpacked reference.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "ExecutionBackend",
+    "UnpackedBackend",
+    "PackedBackend",
+    "register_backend",
+    "available_backends",
+    "get_backend",
+    "set_backend",
+    "use_backend",
+    "DEFAULT_BACKEND_ENV",
+]
+
+DEFAULT_BACKEND_ENV = "REPRO_BACKEND"
+
+_WORD_BITS = 64
+_WORD_BYTES = 8
+
+# numpy < 2.0 has no np.bitwise_count; fall back to a byte lookup table.
+if hasattr(np, "bitwise_count"):
+    def _word_popcount(words: np.ndarray) -> np.ndarray:
+        return np.bitwise_count(words).sum(axis=-1, dtype=np.int64)
+else:  # pragma: no cover - exercised only on numpy 1.x
+    _POPCOUNT_TABLE = np.unpackbits(
+        np.arange(256, dtype=np.uint8)[:, None], axis=1).sum(axis=1,
+                                                             dtype=np.int64)
+
+    def _word_popcount(words: np.ndarray) -> np.ndarray:
+        as_bytes = np.ascontiguousarray(words).view(np.uint8)
+        return _POPCOUNT_TABLE[as_bytes].sum(axis=-1)
+
+
+class ExecutionBackend:
+    """Storage layout + bulk logic executor for bit-stream payloads.
+
+    A payload is an ndarray whose leading axes are the batch and whose last
+    axis is the backend's unit of storage (bytes-as-bits for ``unpacked``,
+    64-bit words for ``packed``).  All methods are pure; payloads are never
+    mutated in place.
+    """
+
+    #: Registry key; subclasses must override.
+    name: str = ""
+    #: True when the payload *is* the unpacked uint8 bit array (lets
+    #: :class:`Bitstream` serve ``.bits`` without a conversion).
+    stores_bits: bool = False
+
+    # -- representation ------------------------------------------------
+    def pack(self, bits: np.ndarray) -> np.ndarray:
+        """Payload from a contiguous uint8 array of 0/1 values."""
+        raise NotImplementedError
+
+    def unpack(self, data: np.ndarray, length: int) -> np.ndarray:
+        """Contiguous uint8 0/1 array (last axis = ``length``) from payload."""
+        raise NotImplementedError
+
+    def from_bool(self, mask: np.ndarray) -> np.ndarray:
+        """Payload from a boolean array — the comparator-output fast path.
+
+        SNG generation ends in a vectorised comparison (``RN < X``); routing
+        the boolean result straight into the payload skips the intermediate
+        uint8 materialisation the constructor would need.
+        """
+        raise NotImplementedError
+
+    def from_packed_bytes(self, packed: np.ndarray, length: int) -> np.ndarray:
+        """Payload from ``numpy.packbits`` output; stray tail bits ignored."""
+        raise NotImplementedError
+
+    def to_packed_bytes(self, data: np.ndarray, length: int) -> np.ndarray:
+        """Fresh ``numpy.packbits``-layout byte array for the payload."""
+        raise NotImplementedError
+
+    def zeros(self, batch_shape: Tuple[int, ...], length: int) -> np.ndarray:
+        raise NotImplementedError
+
+    def ones(self, batch_shape: Tuple[int, ...], length: int) -> np.ndarray:
+        raise NotImplementedError
+
+    # -- bulk logic ----------------------------------------------------
+    def bitwise_and(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def bitwise_or(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def bitwise_xor(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def bitwise_not(self, data: np.ndarray, length: int) -> np.ndarray:
+        raise NotImplementedError
+
+    def maj3(self, a: np.ndarray, b: np.ndarray, c: np.ndarray) -> np.ndarray:
+        """3-input majority: ``ab + ac + bc`` bit-wise."""
+        x = self.bitwise_and(a, b)
+        y = self.bitwise_and(a, c)
+        z = self.bitwise_and(b, c)
+        return self.bitwise_or(self.bitwise_or(x, y), z)
+
+    def mux2(self, sel: np.ndarray, a: np.ndarray, b: np.ndarray,
+             length: int) -> np.ndarray:
+        """2-to-1 multiplexer: ``b`` where ``sel`` is 1, else ``a``."""
+        return self.bitwise_or(
+            self.bitwise_and(self.bitwise_not(sel, length), a),
+            self.bitwise_and(sel, b),
+        )
+
+    # -- value recovery ------------------------------------------------
+    def popcount(self, data: np.ndarray, length: int) -> np.ndarray:
+        """Number of '1's per stream as an int64 array of batch shape."""
+        raise NotImplementedError
+
+    def mean(self, data: np.ndarray, length: int) -> np.ndarray:
+        """Popcount-based value estimate ``popcount / N`` per stream."""
+        return self.popcount(data, length) / float(length)
+
+    # -- structural ops (generic defaults via unpack/pack) -------------
+    def roll(self, data: np.ndarray, shift: int, length: int) -> np.ndarray:
+        return self.pack(np.roll(self.unpack(data, length), shift, axis=-1))
+
+    def batch_reshape(self, data: np.ndarray,
+                      batch_shape: Tuple[int, ...], length: int) -> np.ndarray:
+        """Reshape batch axes only; the stream axis is untouched."""
+        return data.reshape(batch_shape + (data.shape[-1],))
+
+    def batch_stack(self, payloads: Sequence[np.ndarray]) -> np.ndarray:
+        """Stack equal-shape payloads along a new leading batch axis."""
+        return np.stack(list(payloads), axis=0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} name={self.name!r}>"
+
+
+class UnpackedBackend(ExecutionBackend):
+    """One uint8 byte per bit — the historical, conversion-free layout."""
+
+    name = "unpacked"
+    stores_bits = True
+
+    def pack(self, bits: np.ndarray) -> np.ndarray:
+        return np.ascontiguousarray(bits, dtype=np.uint8)
+
+    def unpack(self, data: np.ndarray, length: int) -> np.ndarray:
+        return data
+
+    def from_bool(self, mask: np.ndarray) -> np.ndarray:
+        return mask.astype(np.uint8)
+
+    def from_packed_bytes(self, packed: np.ndarray, length: int) -> np.ndarray:
+        bits = np.unpackbits(packed, axis=-1)[..., :length]
+        return np.ascontiguousarray(bits)
+
+    def to_packed_bytes(self, data: np.ndarray, length: int) -> np.ndarray:
+        return np.packbits(data, axis=-1)
+
+    def zeros(self, batch_shape: Tuple[int, ...], length: int) -> np.ndarray:
+        return np.zeros(batch_shape + (length,), dtype=np.uint8)
+
+    def ones(self, batch_shape: Tuple[int, ...], length: int) -> np.ndarray:
+        return np.ones(batch_shape + (length,), dtype=np.uint8)
+
+    def bitwise_and(self, a, b):
+        return np.bitwise_and(a, b)
+
+    def bitwise_or(self, a, b):
+        return np.bitwise_or(a, b)
+
+    def bitwise_xor(self, a, b):
+        return np.bitwise_xor(a, b)
+
+    def bitwise_not(self, data, length):
+        return np.bitwise_xor(data, np.uint8(1))
+
+    def popcount(self, data, length):
+        return data.sum(axis=-1, dtype=np.int64)
+
+    def roll(self, data, shift, length):
+        return np.roll(data, shift, axis=-1)
+
+
+class PackedBackend(ExecutionBackend):
+    """64 stream bits per uint64 word, ``numpy.packbits`` bit order.
+
+    Canonical form: bits at positions >= ``length`` inside the final word
+    are zero.  AND/OR/XOR of canonical payloads stay canonical for free;
+    NOT restores it by XOR-ing with a tail-masked all-ones vector (which
+    also *is* the complement, so canonicalisation costs nothing extra).
+    """
+
+    name = "packed"
+    stores_bits = False
+
+    def __init__(self) -> None:
+        # Per-length cache of the tail-masked all-ones word vector.  A
+        # handful of stream lengths dominate any run, so an unbounded dict
+        # is fine (entries are ~N/8 bytes each).
+        self._ones_cache: Dict[int, np.ndarray] = {}
+
+    # -- layout helpers ------------------------------------------------
+    @staticmethod
+    def words_per_stream(length: int) -> int:
+        return (length + _WORD_BITS - 1) // _WORD_BITS
+
+    def _bytes_to_words(self, packed: np.ndarray, length: int) -> np.ndarray:
+        """View packbits output as uint64 words, zero-padding to 8 bytes."""
+        want = self.words_per_stream(length) * _WORD_BYTES
+        if packed.shape[-1] != want:
+            padded = np.zeros(packed.shape[:-1] + (want,), dtype=np.uint8)
+            padded[..., :packed.shape[-1]] = packed
+            packed = padded
+        else:
+            packed = np.ascontiguousarray(packed)
+        return packed.view(np.uint64)
+
+    def _ones_words(self, length: int) -> np.ndarray:
+        """All-ones payload vector for one stream: the canonical tail mask."""
+        cached = self._ones_cache.get(length)
+        if cached is None:
+            cached = self._bytes_to_words(
+                np.packbits(np.ones(length, dtype=np.uint8)), length)
+            cached.setflags(write=False)
+            self._ones_cache[length] = cached
+        return cached
+
+    # -- representation ------------------------------------------------
+    def pack(self, bits: np.ndarray) -> np.ndarray:
+        return self._bytes_to_words(np.packbits(bits, axis=-1), bits.shape[-1])
+
+    def unpack(self, data: np.ndarray, length: int) -> np.ndarray:
+        as_bytes = np.ascontiguousarray(data).view(np.uint8)
+        bits = np.unpackbits(as_bytes, axis=-1)[..., :length]
+        return np.ascontiguousarray(bits)
+
+    def from_bool(self, mask: np.ndarray) -> np.ndarray:
+        return self._bytes_to_words(np.packbits(mask, axis=-1), mask.shape[-1])
+
+    def from_packed_bytes(self, packed: np.ndarray, length: int) -> np.ndarray:
+        if length % 8:
+            # Zero stray bits beyond the stream length so the payload is
+            # canonical (packbits order: valid bits are the byte's MSBs).
+            tail = length % 8
+            packed = packed.copy()
+            packed[..., -1] &= np.uint8((0xFF << (8 - tail)) & 0xFF)
+        else:
+            # Word-aligned inputs would otherwise be *viewed* in place,
+            # aliasing the caller's buffer into the payload.
+            packed = packed.copy()
+        return self._bytes_to_words(packed, length)
+
+    def to_packed_bytes(self, data: np.ndarray, length: int) -> np.ndarray:
+        n_bytes = (length + 7) // 8
+        return np.ascontiguousarray(data).view(np.uint8)[..., :n_bytes].copy()
+
+    def zeros(self, batch_shape, length):
+        return np.zeros(batch_shape + (self.words_per_stream(length),),
+                        dtype=np.uint64)
+
+    def ones(self, batch_shape, length):
+        ones = self._ones_words(length)
+        return np.broadcast_to(ones, batch_shape + ones.shape).copy()
+
+    # -- bulk logic ----------------------------------------------------
+    def bitwise_and(self, a, b):
+        return np.bitwise_and(a, b)
+
+    def bitwise_or(self, a, b):
+        return np.bitwise_or(a, b)
+
+    def bitwise_xor(self, a, b):
+        return np.bitwise_xor(a, b)
+
+    def bitwise_not(self, data, length):
+        # XOR with the tail-masked all-ones vector flips every valid bit
+        # and leaves the (zero) tail bits zero — complement and
+        # canonicalisation in a single pass.
+        return np.bitwise_xor(data, self._ones_words(length))
+
+    def popcount(self, data, length):
+        return _word_popcount(data)
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+_REGISTRY: Dict[str, ExecutionBackend] = {}
+_ACTIVE: Optional[ExecutionBackend] = None
+
+
+def register_backend(backend: ExecutionBackend, *,
+                     overwrite: bool = False) -> ExecutionBackend:
+    """Add a backend instance to the registry under ``backend.name``."""
+    if not backend.name:
+        raise ValueError("backend must define a non-empty name")
+    if backend.name in _REGISTRY and not overwrite:
+        raise ValueError(f"backend {backend.name!r} is already registered")
+    _REGISTRY[backend.name] = backend
+    return backend
+
+
+def available_backends() -> List[str]:
+    """Sorted names of all registered backends."""
+    return sorted(_REGISTRY)
+
+
+def get_backend(name: Optional[str] = None) -> ExecutionBackend:
+    """Look up a backend by name, or resolve the active one.
+
+    With ``name=None`` the active backend is returned, resolving on first
+    use from the ``REPRO_BACKEND`` environment variable (default
+    ``unpacked``).
+    """
+    if name is None:
+        global _ACTIVE
+        if _ACTIVE is None:
+            _ACTIVE = get_backend(
+                os.environ.get(DEFAULT_BACKEND_ENV, "unpacked").strip().lower())
+        return _ACTIVE
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown execution backend {name!r}; "
+            f"available: {', '.join(available_backends())}") from None
+
+
+def set_backend(name: str) -> ExecutionBackend:
+    """Make ``name`` the active backend for subsequently created streams."""
+    global _ACTIVE
+    _ACTIVE = get_backend(name)
+    return _ACTIVE
+
+
+@contextmanager
+def use_backend(name: str) -> Iterator[ExecutionBackend]:
+    """Context manager scoping the active backend to a ``with`` block."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = get_backend(name)
+    try:
+        yield _ACTIVE
+    finally:
+        _ACTIVE = previous
+
+
+register_backend(UnpackedBackend())
+register_backend(PackedBackend())

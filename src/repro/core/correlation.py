@@ -30,7 +30,9 @@ def overlap_probability(x: Bitstream, y: Bitstream) -> np.ndarray:
     """Empirical ``P(x=1 AND y=1)`` per stream pair."""
     if x.length != y.length:
         raise ValueError("stream lengths differ")
-    return (x.bits & y.bits).mean(axis=-1)
+    # Backend-routed AND + popcount: under the packed backend this runs
+    # on uint64 words instead of unpacked bytes.
+    return (x & y).value()
 
 
 def scc(x: Bitstream, y: Bitstream) -> np.ndarray:

@@ -90,8 +90,7 @@ def mux2(sel: Bitstream, a: Bitstream, b: Bitstream) -> Bitstream:
     ``(1 - s) * a + s * b`` — the general convex combination.
     """
     _check_same_length(sel, a, b)
-    s = sel.bits
-    return Bitstream((1 - s) * a.bits | (s * b.bits))
+    return Bitstream.mux(sel, a, b)
 
 
 def scaled_add_mux(x: Bitstream, y: Bitstream, select: Bitstream) -> Bitstream:
@@ -107,8 +106,7 @@ def scaled_add_maj(x: Bitstream, y: Bitstream, r: Bitstream) -> Bitstream:
     the MUX while being computable in one scouting-logic sensing cycle.
     """
     _check_same_length(x, y, r)
-    a, b, c = x.bits, y.bits, r.bits
-    return Bitstream((a & b) | (a & c) | (b & c))
+    return Bitstream.maj(x, y, r)
 
 
 def mux4(s0: Bitstream, s1: Bitstream, i00: Bitstream, i01: Bitstream,
@@ -183,7 +181,7 @@ def div_cordiv(x: Bitstream, y: Bitstream) -> Bitstream:
         yi = yb[..., i]
         out[..., i] = np.where(yi == 1, xi, state)
         state = np.where(yi == 1, xi, state)
-    return Bitstream(out)
+    return Bitstream(out, backend=x.backend)
 
 
 def div_jk(j: Bitstream, k: Bitstream,
@@ -208,4 +206,4 @@ def div_jk(j: Bitstream, k: Bitstream,
         ki = kb[..., i]
         state = (ji & (1 - state)) | ((1 - ki) & state)
         out[..., i] = state
-    return Bitstream(out)
+    return Bitstream(out, backend=j.backend)

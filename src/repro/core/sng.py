@@ -145,9 +145,9 @@ class ComparatorSng:
         codes = self._codes(x)
         flat = np.atleast_1d(codes).ravel()
         rn = self.source.integers(flat.size * length).reshape(flat.size, length)
-        bits = (rn < flat[:, None]).astype(np.uint8)
+        bits = rn < flat[:, None]
         shape = np.shape(codes) + (length,) if np.shape(codes) else (length,)
-        return Bitstream(bits.reshape(shape))
+        return Bitstream.from_bool(bits.reshape(shape))
 
     def generate_correlated(self, x: Union[float, np.ndarray],
                             length: int) -> Bitstream:
@@ -160,9 +160,9 @@ class ComparatorSng:
         codes = self._codes(x)
         flat = np.atleast_1d(codes).ravel()
         rn = self.source.integers(length)
-        bits = (rn[None, :] < flat[:, None]).astype(np.uint8)
+        bits = rn[None, :] < flat[:, None]
         shape = np.shape(codes) + (length,) if np.shape(codes) else (length,)
-        return Bitstream(bits.reshape(shape))
+        return Bitstream.from_bool(bits.reshape(shape))
 
 
     def generate_pair(self, x: Union[float, np.ndarray],
@@ -183,19 +183,20 @@ class ComparatorSng:
         n = cx.size
         if correlated:
             rn = self.source.integers(n * length).reshape(n, length)
-            bx = (rn < cx[:, None]).astype(np.uint8)
-            by = (rn < cy[:, None]).astype(np.uint8)
+            bx = rn < cx[:, None]
+            by = rn < cy[:, None]
         elif self.pair_source is not None:
             rnx = self.source.integers(n * length).reshape(n, length)
             rny = self.pair_source.integers(n * length).reshape(n, length)
-            bx = (rnx < cx[:, None]).astype(np.uint8)
-            by = (rny < cy[:, None]).astype(np.uint8)
+            bx = rnx < cx[:, None]
+            by = rny < cy[:, None]
         else:
             rn = self.source.integers(2 * n * length).reshape(2, n, length)
-            bx = (rn[0] < cx[:, None]).astype(np.uint8)
-            by = (rn[1] < cy[:, None]).astype(np.uint8)
+            bx = rn[0] < cx[:, None]
+            by = rn[1] < cy[:, None]
         shape = np.shape(x) + (length,) if np.shape(x) else (length,)
-        return Bitstream(bx.reshape(shape)), Bitstream(by.reshape(shape))
+        return (Bitstream.from_bool(bx.reshape(shape)),
+                Bitstream.from_bool(by.reshape(shape)))
 
 
 class SegmentSng:
@@ -245,9 +246,9 @@ class SegmentSng:
         total_bits = flat.size * length * self.segment_bits
         raw = self.bit_source.random_bits(total_bits)
         rn = self._segments_to_ints(raw).reshape(flat.size, length)
-        bits = (flat[:, None] > rn).astype(np.uint8)
+        bits = flat[:, None] > rn
         shape = np.shape(codes) + (length,) if np.shape(codes) else (length,)
-        return Bitstream(bits.reshape(shape))
+        return Bitstream.from_bool(bits.reshape(shape))
 
     def generate_correlated(self, x: Union[float, np.ndarray],
                             length: int) -> Bitstream:
@@ -256,9 +257,9 @@ class SegmentSng:
         flat = np.atleast_1d(codes).ravel()
         raw = self.bit_source.random_bits(length * self.segment_bits)
         rn = self._segments_to_ints(raw)
-        bits = (flat[:, None] > rn[None, :]).astype(np.uint8)
+        bits = flat[:, None] > rn[None, :]
         shape = np.shape(codes) + (length,) if np.shape(codes) else (length,)
-        return Bitstream(bits.reshape(shape))
+        return Bitstream.from_bool(bits.reshape(shape))
 
 
     def generate_pair(self, x: Union[float, np.ndarray],
@@ -274,15 +275,16 @@ class SegmentSng:
         if correlated:
             raw = self.bit_source.random_bits(n * length * m)
             rn = self._segments_to_ints(raw).reshape(n, length)
-            bx = (cx[:, None] > rn).astype(np.uint8)
-            by = (cy[:, None] > rn).astype(np.uint8)
+            bx = cx[:, None] > rn
+            by = cy[:, None] > rn
         else:
             raw = self.bit_source.random_bits(2 * n * length * m)
             rn = self._segments_to_ints(raw).reshape(2, n, length)
-            bx = (cx[:, None] > rn[0]).astype(np.uint8)
-            by = (cy[:, None] > rn[1]).astype(np.uint8)
+            bx = cx[:, None] > rn[0]
+            by = cy[:, None] > rn[1]
         shape = np.shape(x) + (length,) if np.shape(x) else (length,)
-        return Bitstream(bx.reshape(shape)), Bitstream(by.reshape(shape))
+        return (Bitstream.from_bool(bx.reshape(shape)),
+                Bitstream.from_bool(by.reshape(shape)))
 
 
 def unary_stream(x: Union[float, np.ndarray], length: int) -> Bitstream:
@@ -297,5 +299,4 @@ def unary_stream(x: Union[float, np.ndarray], length: int) -> Bitstream:
         raise ValueError("unary values must lie in [0, 1]")
     k = np.rint(arr * length).astype(np.int64)
     ramp = np.arange(length, dtype=np.int64)
-    bits = (ramp < k[..., None]).astype(np.uint8)
-    return Bitstream(bits)
+    return Bitstream.from_bool(ramp < k[..., None])

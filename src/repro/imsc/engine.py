@@ -218,39 +218,68 @@ class InMemorySCEngine:
     def _unary_batch(self, s: Bitstream) -> int:
         return int(np.prod(s.batch_shape)) if s.batch_shape else 1
 
+    def _faulty_op(self, op_fn, gate: str, *streams: Bitstream) -> Bitstream:
+        """Run one backend-routed bulk op with a single sensed fault site.
+
+        The gate semantics live in :mod:`repro.core.ops` only; this helper
+        just injects the per-bit flip of the (one) faulty sensing step on
+        the op's output.
+        """
+        out = op_fn(*streams)
+        return Bitstream(self._flip(out.bits, gate),
+                         backend=streams[0].backend)
+
     def multiply(self, x: Bitstream, y: Bitstream) -> Bitstream:
-        out = self._flip(scops.mul_and(x, y).bits, "and")
+        if self.fault_rates is None:
+            out = scops.mul_and(x, y)
+        else:
+            out = self._faulty_op(scops.mul_and, "and", x, y)
         self._book_op("multiplication", x.length, self._unary_batch(x))
-        return Bitstream(out)
+        return out
 
     def scaled_add(self, x: Bitstream, y: Bitstream,
                    r: Optional[Bitstream] = None) -> Bitstream:
         if r is None:
             r = self.generate(np.full(x.batch_shape or (1,), 0.5), x.length)
-            r = Bitstream(r.bits.reshape(x.bits.shape))
-        out = self._flip(scops.scaled_add_maj(x, y, r).bits, "maj3")
+            r = r.reshape(*x.batch_shape)
+        if self.fault_rates is None:
+            out = scops.scaled_add_maj(x, y, r)
+        else:
+            out = self._faulty_op(scops.scaled_add_maj, "maj3", x, y, r)
         self._book_op("scaled_addition", x.length, self._unary_batch(x))
-        return Bitstream(out)
+        return out
 
     def approx_add(self, x: Bitstream, y: Bitstream) -> Bitstream:
-        out = self._flip(scops.add_or(x, y).bits, "or")
+        if self.fault_rates is None:
+            out = scops.add_or(x, y)
+        else:
+            out = self._faulty_op(scops.add_or, "or", x, y)
         self._book_op("approx_addition", x.length, self._unary_batch(x))
-        return Bitstream(out)
+        return out
 
     def abs_subtract(self, x: Bitstream, y: Bitstream) -> Bitstream:
-        out = self._flip(scops.sub_xor(x, y).bits, "xor")
+        if self.fault_rates is None:
+            out = scops.sub_xor(x, y)
+        else:
+            out = self._faulty_op(scops.sub_xor, "xor", x, y)
         self._book_op("abs_subtraction", x.length, self._unary_batch(x))
-        return Bitstream(out)
+        return out
 
     def minimum(self, x: Bitstream, y: Bitstream) -> Bitstream:
-        out = self._flip(scops.min_and(x, y).bits, "and")
+        if self.fault_rates is None:
+            out = scops.min_and(x, y)
+        else:
+            out = self._faulty_op(scops.min_and, "and", x, y)
         self._book_op("minimum", x.length, self._unary_batch(x))
-        return Bitstream(out)
+        return out
 
     def maximum(self, x: Bitstream, y: Bitstream) -> Bitstream:
-        out = self._flip(scops.max_or(x, y).bits, "or")
+        if self.fault_rates is None:
+            out = scops.max_or(x, y)
+        else:
+            out = self._faulty_op(scops.max_or, "or", x, y)
         self._book_op("maximum", x.length, self._unary_batch(x))
-        return Bitstream(out)
+        return out
 
     def divide(self, x: Bitstream, y: Bitstream) -> Bitstream:
         """CORDIV on the peripheral latches, one faulty step per bit."""
@@ -264,12 +293,15 @@ class InMemorySCEngine:
             state = out_i
             out[..., i] = out_i
         self._book_op("division", x.length, self._unary_batch(x))
-        return Bitstream(out)
+        return Bitstream(out, backend=x.backend)
 
     def maj(self, x: Bitstream, y: Bitstream, z: Bitstream) -> Bitstream:
-        out = self._flip(scops.scaled_add_maj(x, y, z).bits, "maj3")
+        if self.fault_rates is None:
+            out = scops.scaled_add_maj(x, y, z)
+        else:
+            out = self._faulty_op(scops.scaled_add_maj, "maj3", x, y, z)
         self._book_op("scaled_addition", x.length, self._unary_batch(x))
-        return Bitstream(out)
+        return out
 
     def mux(self, sel: Bitstream, a: Bitstream, b: Bitstream) -> Bitstream:
         """2-to-1 MUX as three scouting-logic steps: 2 ANDs + OR.
@@ -278,12 +310,15 @@ class InMemorySCEngine:
         for any operand ordering and correlation, at 3x the sensing cost
         (and 3 fault sites instead of 1).
         """
-        t1 = self._flip(sel.bits & b.bits, "and")
-        t2 = self._flip((1 - sel.bits) & a.bits, "and")
-        out = self._flip(t1 | t2, "or")
+        if self.fault_rates is None:
+            out = scops.mux2(sel, a, b)
+        else:
+            t1 = self._flip(sel.bits & b.bits, "and")
+            t2 = self._flip((1 - sel.bits) & a.bits, "and")
+            out = Bitstream(self._flip(t1 | t2, "or"), backend=a.backend)
         batch = self._unary_batch(a)
         self._book_op("mux2", a.length, batch)
-        return Bitstream(out)
+        return out
 
     def op(self, name: str, x: Bitstream, y: Bitstream, **kw) -> Bitstream:
         """Dispatch by Table II row name."""

@@ -1,0 +1,267 @@
+"""Bit-exact equivalence of the packed and unpacked execution backends.
+
+Seeded property-style tests: random stream batches are built from the same
+raw bits under every registered backend, each SC op is executed under each,
+and the results are compared bit-for-bit (plus popcount/value recovery).
+Odd lengths (1, 7, 127, 1000) exercise the packed backend's tail-word
+masking; 64 hits the exact word boundary.
+
+This file doubles as the conformance suite for new backends: register a
+third backend and add its name to ``BACKENDS`` to get full coverage.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import ops
+from repro.core.backend import (
+    PackedBackend,
+    available_backends,
+    get_backend,
+    set_backend,
+    use_backend,
+)
+from repro.core.bitstream import Bitstream
+from repro.core.correlation import correlation_matrix, overlap_probability, scc
+from repro.core.sng import ComparatorSng, IdealBitSource, SegmentSng, unary_stream
+from repro.core.rng import Lfsr, SoftwareRng
+
+BACKENDS = ("unpacked", "packed")
+LENGTHS = (1, 7, 64, 127, 1000)
+BATCH_SHAPES = ((), (3,), (2, 5))
+
+
+def _rand_bits(rng, batch, length):
+    return rng.integers(0, 2, size=batch + (length,), dtype=np.uint8)
+
+
+def _streams(bits, name):
+    with use_backend(name):
+        return Bitstream(bits)
+
+
+# ----------------------------------------------------------------------
+# Registry behaviour
+# ----------------------------------------------------------------------
+class TestRegistry:
+    def test_both_backends_registered(self):
+        assert {"unpacked", "packed"} <= set(available_backends())
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="unknown execution backend"):
+            get_backend("does-not-exist")
+
+    def test_set_backend_switches_default(self):
+        prev = get_backend()
+        try:
+            set_backend("packed")
+            assert Bitstream([1, 0, 1]).backend.name == "packed"
+        finally:
+            set_backend(prev.name)
+
+    def test_use_backend_restores_previous(self):
+        before = get_backend()
+        with use_backend("packed") as be:
+            assert be.name == "packed"
+            assert get_backend() is be
+        assert get_backend() is before
+
+    def test_explicit_backend_argument(self):
+        bs = Bitstream([1, 0, 1, 1], backend="packed")
+        assert bs.backend.name == "packed"
+        assert list(bs.bits) == [1, 0, 1, 1]
+
+
+# ----------------------------------------------------------------------
+# Representation round-trips
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("name", BACKENDS)
+@pytest.mark.parametrize("length", LENGTHS)
+@pytest.mark.parametrize("batch", BATCH_SHAPES)
+class TestRoundTrip:
+    def test_bits_roundtrip(self, name, length, batch):
+        bits = _rand_bits(np.random.default_rng(7), batch, length)
+        bs = _streams(bits, name)
+        assert bs.shape == bits.shape
+        assert bs.length == length
+        np.testing.assert_array_equal(bs.bits, bits)
+
+    def test_packed_bytes_roundtrip(self, name, length, batch):
+        bits = _rand_bits(np.random.default_rng(8), batch, length)
+        bs = _streams(bits, name)
+        again = Bitstream.from_packed(bs.packed(), length, backend=name)
+        assert again == bs
+
+    def test_popcount_and_values(self, name, length, batch):
+        bits = _rand_bits(np.random.default_rng(9), batch, length)
+        bs = _streams(bits, name)
+        expect = bits.sum(axis=-1, dtype=np.int64)
+        np.testing.assert_array_equal(bs.popcount(), expect)
+        np.testing.assert_allclose(bs.to_value(), expect / length)
+        np.testing.assert_allclose(bs.bipolar_value(), 2 * expect / length - 1)
+
+
+# ----------------------------------------------------------------------
+# Op-by-op equivalence
+# ----------------------------------------------------------------------
+BINARY_OPS = [
+    ops.mul_and,
+    ops.mul_xnor,
+    ops.add_or,
+    ops.sub_xor,
+    ops.min_and,
+    ops.max_or,
+    ops.div_cordiv,
+    ops.div_jk,
+]
+
+TERNARY_OPS = [
+    ops.scaled_add_mux,
+    ops.scaled_add_maj,
+    lambda x, y, s: ops.mux2(s, x, y),
+]
+
+
+@pytest.mark.parametrize("length", LENGTHS)
+@pytest.mark.parametrize("batch", BATCH_SHAPES)
+class TestOpEquivalence:
+    def _operands(self, length, batch, k, seed=123):
+        rng = np.random.default_rng(seed + length + len(batch))
+        return [_rand_bits(rng, batch, length) for _ in range(k)]
+
+    @pytest.mark.parametrize("op", BINARY_OPS,
+                             ids=lambda f: getattr(f, "__name__", "op"))
+    def test_binary_op(self, length, batch, op):
+        xb, yb = self._operands(length, batch, 2)
+        results = {}
+        for name in BACKENDS:
+            with use_backend(name):
+                out = op(Bitstream(xb), Bitstream(yb))
+                assert out.backend.name == name
+                results[name] = (out.bits.copy(), out.popcount().copy())
+        ref_bits, ref_pop = results["unpacked"]
+        for name in BACKENDS[1:]:
+            np.testing.assert_array_equal(results[name][0], ref_bits,
+                                          err_msg=f"{op} bits differ ({name})")
+            np.testing.assert_array_equal(results[name][1], ref_pop)
+
+    @pytest.mark.parametrize("op", TERNARY_OPS,
+                             ids=("scaled_add_mux", "scaled_add_maj", "mux2"))
+    def test_ternary_op(self, length, batch, op):
+        xb, yb, sb = self._operands(length, batch, 3, seed=321)
+        results = {}
+        for name in BACKENDS:
+            with use_backend(name):
+                out = op(Bitstream(xb), Bitstream(yb), Bitstream(sb))
+                results[name] = out.bits.copy()
+        for name in BACKENDS[1:]:
+            np.testing.assert_array_equal(results[name], results["unpacked"])
+
+    def test_not_stream(self, length, batch):
+        (xb,) = self._operands(length, batch, 1)
+        results = {}
+        for name in BACKENDS:
+            with use_backend(name):
+                results[name] = ops.not_stream(Bitstream(xb)).bits.copy()
+        np.testing.assert_array_equal(results["packed"], results["unpacked"])
+        np.testing.assert_array_equal(results["unpacked"], 1 - xb)
+
+    def test_structural_ops(self, length, batch):
+        (xb,) = self._operands(length, batch, 1, seed=555)
+        for name in BACKENDS:
+            bs = _streams(xb, name)
+            np.testing.assert_array_equal(
+                bs.roll(3).bits, np.roll(xb, 3, axis=-1))
+            np.testing.assert_array_equal(bs.copy().bits, xb)
+            if batch:
+                flat = bs.reshape(int(np.prod(batch)))
+                np.testing.assert_array_equal(
+                    flat.bits, xb.reshape(-1, length))
+                np.testing.assert_array_equal(bs[0].bits, xb[0])
+            both = bs.concat(bs)
+            assert both.length == 2 * length
+            np.testing.assert_array_equal(
+                both.bits, np.concatenate([xb, xb], axis=-1))
+
+
+# ----------------------------------------------------------------------
+# Generation equivalence: same seeds => identical streams on every backend
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("length", (1, 7, 127, 256))
+class TestGenerationEquivalence:
+    def _collect(self, name, length):
+        with use_backend(name):
+            x = np.array([0.1, 0.5, 0.93])
+            y = np.array([0.7, 0.2, 0.4])
+            comp = ComparatorSng(SoftwareRng(8, seed=11),
+                                 pair_source=SoftwareRng(8, seed=13))
+            lfsr = ComparatorSng(Lfsr(seed=1))
+            seg = SegmentSng(IdealBitSource(seed=17), segment_bits=8)
+            out = [
+                comp.generate(x, length).bits,
+                comp.generate_correlated(x, length).bits,
+                lfsr.generate(x, length).bits,
+                seg.generate(x, length).bits,
+                seg.generate_correlated(x, length).bits,
+                unary_stream(x, length).bits,
+                Bitstream.bernoulli(x, length, rng=23).bits,
+            ]
+            out.extend(comp.generate_pair(x, y, length, correlated=True)[0].bits
+                       for _ in range(1))
+            pair = seg.generate_pair(x, y, length, correlated=False)
+            out.extend([pair[0].bits, pair[1].bits])
+            return [a.copy() for a in out]
+
+    def test_all_generators_bit_exact(self, length):
+        reference = self._collect("unpacked", length)
+        for name in BACKENDS[1:]:
+            candidate = self._collect(name, length)
+            assert len(candidate) == len(reference)
+            for i, (got, want) in enumerate(zip(candidate, reference)):
+                np.testing.assert_array_equal(
+                    got, want, err_msg=f"generator #{i} differs on {name}")
+
+
+# ----------------------------------------------------------------------
+# Correlation metrics route through the backend
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("length", (7, 127, 512))
+def test_scc_equivalence(length):
+    rng = np.random.default_rng(99)
+    xb = _rand_bits(rng, (4,), length)
+    yb = _rand_bits(rng, (4,), length)
+    vals = {}
+    for name in BACKENDS:
+        with use_backend(name):
+            x, y = Bitstream(xb), Bitstream(yb)
+            vals[name] = (overlap_probability(x, y), scc(x, y),
+                          correlation_matrix(Bitstream(xb)))
+    for got, want in zip(vals["packed"], vals["unpacked"]):
+        np.testing.assert_allclose(got, want, rtol=0, atol=0)
+
+
+# ----------------------------------------------------------------------
+# Cross-backend interop
+# ----------------------------------------------------------------------
+def test_mixed_backend_operands_follow_left_operand():
+    bits_a = np.array([1, 0, 1, 1, 0, 1, 0], dtype=np.uint8)
+    bits_b = np.array([1, 1, 0, 1, 0, 0, 1], dtype=np.uint8)
+    a = Bitstream(bits_a, backend="packed")
+    b = Bitstream(bits_b, backend="unpacked")
+    out = a & b
+    assert out.backend.name == "packed"
+    np.testing.assert_array_equal(out.bits, bits_a & bits_b)
+    assert a == Bitstream(bits_a, backend="unpacked")  # cross-backend eq
+
+
+def test_packed_canonical_tail_stays_zero():
+    """NOT on an odd length must not leak ones into the tail word."""
+    be = PackedBackend()
+    bs = Bitstream(np.zeros(70, dtype=np.uint8), backend=be)
+    inverted = ~bs
+    assert int(inverted.popcount()) == 70
+    double = ~inverted
+    assert int(double.popcount()) == 0
+    # Payload tail bits beyond N are zero in canonical form.
+    raw = inverted._data
+    assert int(np.bitwise_count(raw).sum()) == 70

@@ -123,3 +123,55 @@ class TestStructure:
     def test_repr_short_and_batch(self):
         assert "1010" in repr(Bitstream([1, 0, 1, 0]))
         assert "batch" in repr(Bitstream(np.zeros((2, 64), dtype=np.uint8)))
+
+
+class TestFromPackedTailMask:
+    """Dedicated round-trip coverage for non-multiple-of-8 lengths."""
+
+    @pytest.mark.parametrize("length", [1, 2, 7, 8, 9, 15, 16, 17, 37, 127])
+    def test_roundtrip_every_tail_length(self, length):
+        bs = Bitstream.bernoulli(0.5, length, rng=length)
+        back = Bitstream.from_packed(bs.packed(), length)
+        assert back == bs
+        np.testing.assert_array_equal(back.bits, bs.bits)
+
+    def test_batch_roundtrip_odd_length(self):
+        bs = Bitstream.bernoulli(np.array([0.2, 0.8]), 13, rng=2)
+        back = Bitstream.from_packed(bs.packed(), 13)
+        assert back == bs
+
+    def test_stray_tail_bits_are_masked(self):
+        # length 5 occupies the top 5 bits of one byte; the low 3 bits are
+        # garbage and must not leak into the stream or its popcount.
+        packed = np.array([0b10110111], dtype=np.uint8)
+        bs = Bitstream.from_packed(packed, 5)
+        np.testing.assert_array_equal(bs.bits, [1, 0, 1, 1, 0])
+        assert int(bs.popcount()) == 3
+
+    def test_byte_count_mismatch_raises(self):
+        packed = np.packbits(np.ones(16, dtype=np.uint8))  # 2 bytes
+        with pytest.raises(ValueError, match="requires exactly"):
+            Bitstream.from_packed(packed, 24)   # needs 3 bytes
+        with pytest.raises(ValueError, match="requires exactly"):
+            Bitstream.from_packed(packed, 8)    # needs 1 byte
+
+    def test_non_positive_length_raises(self):
+        with pytest.raises(ValueError, match="positive"):
+            Bitstream.from_packed(np.array([0], dtype=np.uint8), 0)
+
+    def test_packed_output_is_independent_copy(self):
+        bs = Bitstream([1, 0, 1, 1, 0, 1, 0, 1, 1])
+        packed = bs.packed()
+        packed[...] = 0
+        assert int(bs.popcount()) == 6  # mutation must not alias the payload
+
+    @pytest.mark.parametrize("backend", ["unpacked", "packed"])
+    @pytest.mark.parametrize("length", [64, 63, 128])
+    def test_from_packed_does_not_alias_input(self, backend, length):
+        bs = Bitstream.bernoulli(0.5, length, rng=4)
+        packed = bs.packed()
+        rebuilt = Bitstream.from_packed(packed, length, backend=backend)
+        before = int(rebuilt.popcount())
+        packed[...] = 0  # caller reuses its buffer; stream must not change
+        assert int(rebuilt.popcount()) == before
+        assert rebuilt == bs

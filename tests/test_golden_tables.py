@@ -1,0 +1,79 @@
+"""Golden regression fixtures for Table I (SNG MSE) and Table II (ops MSE).
+
+These seeded Monte-Carlo values were produced by the unpacked reference
+backend at the pinned sample counts and are asserted to ~1e-9 relative
+tolerance.  They run under whatever backend ``REPRO_BACKEND`` selects, so a
+``make test`` sweep proves that backend refactors cannot silently shift
+accuracy: every backend must reproduce the reference numbers *bit-exactly*
+(the SC math is integer popcounts; any drift means the stream bits changed).
+
+If an intentional semantic change moves these numbers, regenerate the
+constants with the recipe in each test's docstring and explain the shift in
+the commit message.
+"""
+
+import pytest
+
+from repro.core.accuracy import OP_SPECS, op_mse, sng_mse
+from repro.core.rng import Lfsr, SobolRng, SoftwareRng
+from repro.core.sng import ComparatorSng, IdealBitSource, SegmentSng
+
+REL_TOL = 1e-9
+
+# MSE(%) of stream generation, 2000 samples, seed 0 (Table I methodology).
+GOLDEN_SNG_MSE = {
+    "software": {32: 0.5252147526910572, 256: 0.06567379677362303},
+    "lfsr": {32: 0.8980824068239716, 256: 0.0019965144851197608},
+    "sobol": {32: 0.016630310382140884, 256: 0.0004978529158066859},
+    "imsng": {32: 0.5040004616846477, 256: 0.06206222196312849},
+}
+
+# MSE(%) of each SC op with the software SNG, 1000 samples, seed 1
+# (Table II methodology).
+GOLDEN_OP_MSE = {
+    "multiplication": {32: 0.4278207061894964, 256: 0.052685872854411106},
+    "scaled_addition": {32: 0.65134653887571, 256: 0.08467053423842646},
+    "scaled_addition_mux": {32: 0.6653347954573002, 256: 0.07885209489570993},
+    "approx_addition": {32: 1.4877581868336616, 256: 0.7853345252676992},
+    "abs_subtraction": {32: 0.5967205084152243, 256: 0.06518109842156226},
+    "division": {32: 1.4537856932711155, 256: 0.1662297813988884},
+    "minimum": {32: 0.5884670602715159, 256: 0.06408603958851622},
+    "maximum": {32: 0.526353658564341, 256: 0.06540710584317458},
+}
+
+LENGTHS = (32, 256)
+
+
+def _make_sng(source: str):
+    """Fresh, deterministically seeded SNG per measurement."""
+    if source == "software":
+        return ComparatorSng(SoftwareRng(8, seed=42))
+    if source == "lfsr":
+        return ComparatorSng(Lfsr(seed=0x5A))
+    if source == "sobol":
+        return ComparatorSng(SobolRng(8, dim=0), pair_source=SobolRng(8, dim=1))
+    if source == "imsng":
+        return SegmentSng(IdealBitSource(seed=7), segment_bits=8)
+    raise ValueError(source)
+
+
+@pytest.mark.parametrize("length", LENGTHS)
+@pytest.mark.parametrize("source", sorted(GOLDEN_SNG_MSE))
+def test_table1_sng_mse_pinned(source, length):
+    """Regenerate with: sng_mse(_make_sng(source), length, samples=2000, seed=0)."""
+    got = sng_mse(_make_sng(source), length, samples=2000, seed=0)
+    assert got == pytest.approx(GOLDEN_SNG_MSE[source][length], rel=REL_TOL)
+
+
+@pytest.mark.parametrize("length", LENGTHS)
+@pytest.mark.parametrize("op", sorted(GOLDEN_OP_MSE))
+def test_table2_op_mse_pinned(op, length):
+    """Regenerate with: op_mse(op, _make_sng('software'), length, samples=1000, seed=1)."""
+    assert op in OP_SPECS
+    got = op_mse(op, _make_sng("software"), length, samples=1000, seed=1)
+    assert got == pytest.approx(GOLDEN_OP_MSE[op][length], rel=REL_TOL)
+
+
+def test_goldens_cover_every_table2_op():
+    """New OP_SPECS entries must be pinned here too."""
+    assert set(GOLDEN_OP_MSE) == set(OP_SPECS)
