@@ -1,12 +1,14 @@
 # Developer entry points.  The tier-1 suite must pass under BOTH execution
-# backends (see src/repro/core/backend.py); `make test` enforces that.
+# backends (see src/repro/core/backend.py); `make test` enforces that, and
+# finishes with a tiny-config benchmark smoke run of both the backend chain
+# and the application pipelines.
 
 PYTHON ?= python
 PYTEST = PYTHONPATH=src $(PYTHON) -m pytest
 
-.PHONY: test test-unpacked test-packed bench-smoke bench-backend bench
+.PHONY: test test-unpacked test-packed bench-smoke bench-backend bench-apps bench
 
-test: test-unpacked test-packed
+test: test-unpacked test-packed bench-smoke
 
 test-unpacked:
 	REPRO_BACKEND=unpacked $(PYTEST) -x -q
@@ -14,14 +16,24 @@ test-unpacked:
 test-packed:
 	REPRO_BACKEND=packed $(PYTEST) -x -q
 
-# Quick packed-vs-unpacked throughput check (~seconds).
+# Quick throughput checks (~seconds): packed-vs-unpacked word chain plus a
+# tiny-config end-to-end app run (bench_apps pins each configuration's
+# backend itself, so one invocation covers both).  Tiny workloads are
+# overhead-dominated — this is a does-it-run smoke, not the >=4x guard
+# (that's bench-backend / bench-apps at full scale).
 bench-smoke:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_backend.py \
 		--length 131072 --batch 128 --repeats 2
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_apps.py \
+		--length 64 --size 24 --tile 12 --jobs 2 --repeats 1 --apps matting
 
 # Full acceptance-scale backend benchmark (1e6-bit x 1024-stream chain).
 bench-backend:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_backend.py
+
+# Full acceptance-scale application benchmark (seed path vs packed+sharded).
+bench-apps:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_apps.py
 
 # Full reproduction report (all tables/figures).
 bench:

@@ -12,19 +12,27 @@ from .images import (
     to_uint8,
 )
 from .metrics import mse, psnr, quality_pair, ssim
-from .compositing import composite_bincim, composite_float, composite_sc
+from .compositing import (
+    composite_bincim,
+    composite_float,
+    composite_sc,
+    composite_sc_kernel,
+)
 from .interpolation import (
     neighbour_grid,
     upscale_bincim,
     upscale_float,
     upscale_sc,
+    upscale_sc_kernel,
 )
 from .matting import (
     matting_bincim,
     matting_float,
     matting_sc,
+    matting_sc_kernel,
     recomposite_quality_inputs,
 )
+from .executor import run_tiled, tile_grid
 from .pipeline import APPS, AppResult, BACKENDS, run_app
 from .neural import ScDenseLayer, ScDotProduct, sc_dot_product
 from .filters import (
@@ -44,9 +52,12 @@ __all__ = [
     "to_uint8",
     "mse", "psnr", "quality_pair", "ssim",
     "composite_bincim", "composite_float", "composite_sc",
+    "composite_sc_kernel",
     "neighbour_grid", "upscale_bincim", "upscale_float", "upscale_sc",
-    "matting_bincim", "matting_float", "matting_sc",
+    "upscale_sc_kernel",
+    "matting_bincim", "matting_float", "matting_sc", "matting_sc_kernel",
     "recomposite_quality_inputs",
+    "run_tiled", "tile_grid",
     "APPS", "AppResult", "BACKENDS", "run_app",
     "contrast_stretch_float", "contrast_stretch_sc",
     "gamma_correct_float", "gamma_correct_sc",

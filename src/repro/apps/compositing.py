@@ -28,10 +28,12 @@ import numpy as np
 
 from ..bincim.design import BinaryCimDesign
 from ..core import ops as scops
+from ..core.streambatch import StreamBatch
 from ..imsc.engine import InMemorySCEngine
 from .images import from_uint8, to_uint8
 
-__all__ = ["composite_float", "composite_sc", "composite_bincim"]
+__all__ = ["composite_float", "composite_sc", "composite_sc_kernel",
+           "composite_bincim"]
 
 
 def composite_float(foreground: np.ndarray, background: np.ndarray,
@@ -43,28 +45,27 @@ def composite_float(foreground: np.ndarray, background: np.ndarray,
     return f * a + b * (1.0 - a)
 
 
-def composite_sc(engine: InMemorySCEngine, foreground: np.ndarray,
-                 background: np.ndarray, alpha: np.ndarray, length: int,
-                 use_mux: bool = False) -> np.ndarray:
-    """SC compositing on the in-memory engine.
+def composite_sc_kernel(engine: InMemorySCEngine, foreground: np.ndarray,
+                        background: np.ndarray, alpha: np.ndarray,
+                        length: int, use_mux: bool = False) -> np.ndarray:
+    """Flat compositing kernel: 1-D operand arrays in, 1-D image out.
 
-    Streams are generated per pixel; F/B share the RNG (correlated), alpha
-    is independent.  The output image is recovered through the engine's
-    S-to-B path.
+    This is the unit of work the sharded executor fans out per tile; the
+    whole-image wrapper below just ravels/reshapes around it.  The F/B
+    operand stack is generated as one batched stream array and split by
+    payload slicing (:meth:`StreamBatch.select`) — no unpacking under any
+    backend.
     """
-    shape = np.shape(foreground)
-    f = np.ravel(foreground)
-    b = np.ravel(background)
-    a = np.ravel(alpha)
     # One in-memory random-row fill serves the whole image (the hardware
     # reuses the TRNG rows across conversions): F/B streams share that
     # draw, which both satisfies the MAJ correlation requirement and makes
     # the stochastic error spatially smooth — pixels with similar values
     # get nearly identical errors, preserving structural similarity.
-    from ..core.bitstream import Bitstream
-    fb = engine.generate_correlated(np.stack([f, b]), length)
-    sf = Bitstream(fb.bits[0])
-    sb = Bitstream(fb.bits[1])
+    f, b, a = foreground, background, alpha
+    fb = StreamBatch.from_bitstream(
+        engine.generate_correlated(np.stack([f, b]), length))
+    sf = fb.select(0).to_bitstream()
+    sb = fb.select(1).to_bitstream()
     if use_mux:
         # Conventional MUX (select = alpha, 1 -> foreground), priced like a
         # single-step op for an apples-to-apples accuracy ablation.
@@ -77,7 +78,23 @@ def composite_sc(engine: InMemorySCEngine, foreground: np.ndarray,
         a_eff = np.where(f >= b, a, 1.0 - a)
         sa = engine.generate_correlated(a_eff, length)
         out = engine.maj(sf, sb, sa)
-    return engine.to_binary(out).reshape(shape)
+    return engine.to_binary(out)
+
+
+def composite_sc(engine: InMemorySCEngine, foreground: np.ndarray,
+                 background: np.ndarray, alpha: np.ndarray, length: int,
+                 use_mux: bool = False) -> np.ndarray:
+    """SC compositing on the in-memory engine.
+
+    Streams are generated per pixel; F/B share the RNG (correlated), alpha
+    is independent.  The output image is recovered through the engine's
+    S-to-B path.
+    """
+    shape = np.shape(foreground)
+    out = composite_sc_kernel(engine, np.ravel(foreground),
+                              np.ravel(background), np.ravel(alpha),
+                              length, use_mux=use_mux)
+    return out.reshape(shape)
 
 
 def composite_bincim(design: BinaryCimDesign, foreground: np.ndarray,

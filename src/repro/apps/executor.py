@@ -1,0 +1,140 @@
+"""Sharded tile executor for the application pipelines.
+
+A scene is decomposed into square tiles; every tile becomes one independent
+unit of SC work (its own :class:`~repro.imsc.engine.InMemorySCEngine` and
+RNG) that a worker pool can execute in any order.  This is the software
+analogue of fanning an image out across ReRAM mats: each mat converts and
+computes its tile locally, and only binary tile results travel back.
+
+Determinism contract
+--------------------
+* The tile grid depends only on the image shape and ``tile`` — never on
+  ``jobs`` — and tiles are stitched by index.
+* Per-tile RNGs derive from ``numpy.random.SeedSequence(seed).spawn(n)``,
+  so tile *i* sees the same random stream no matter which worker runs it or
+  how many workers exist.  ``jobs=1`` (in-process) and ``jobs=N`` (process
+  pool) therefore produce bit-identical images.
+* Tiled output differs from the untiled whole-image run (each tile has its
+  own random-row fill) but is itself a fixed function of
+  ``(seed, tile, image)``.
+
+Workers receive only picklable primitives (arrays, the kernel name, engine
+kwargs, a child ``SeedSequence``) and re-select the execution backend by
+name, so the pool behaves identically under ``fork`` and ``spawn`` start
+methods.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.backend import get_backend, set_backend
+from ..energy.model import EnergyLedger
+from ..imsc.engine import InMemorySCEngine
+from .compositing import composite_sc_kernel
+from .interpolation import upscale_sc_kernel
+from .matting import matting_sc_kernel
+
+__all__ = ["tile_grid", "run_tiled", "KERNELS"]
+
+#: Flat per-tile kernels, keyed by app name.  Each takes ``(engine,
+#: **named 1-D arrays, length=...)`` and returns a 1-D float image.
+KERNELS = {
+    "compositing": composite_sc_kernel,
+    "interpolation": upscale_sc_kernel,
+    "matting": matting_sc_kernel,
+}
+
+
+def tile_grid(height: int, width: int,
+              tile: int) -> List[Tuple[int, int, int, int]]:
+    """Row-major ``(r0, r1, c0, c1)`` bounds of a ``tile x tile`` decomposition.
+
+    Edge tiles are clipped; the grid covers every pixel exactly once.
+    """
+    if tile < 1:
+        raise ValueError("tile must be a positive integer")
+    return [(r, min(r + tile, height), c, min(c + tile, width))
+            for r in range(0, height, tile)
+            for c in range(0, width, tile)]
+
+
+def _run_tile(task: Tuple[str, str, Dict[str, np.ndarray], int,
+                          Dict[str, Any], np.random.SeedSequence]
+              ) -> Tuple[np.ndarray, EnergyLedger]:
+    """Execute one tile: fresh engine, deterministic child RNG."""
+    backend_name, kernel_name, arrays, length, engine_kwargs, child = task
+    set_backend(backend_name)
+    engine = InMemorySCEngine(rng=np.random.default_rng(child),
+                              **engine_kwargs)
+    out = KERNELS[kernel_name](engine, length=length, **arrays)
+    return np.asarray(out, dtype=np.float64), engine.ledger
+
+
+def run_tiled(kernel: str, inputs: Dict[str, np.ndarray], length: int, *,
+              tile: int, jobs: int = 1, seed: Optional[int] = 0,
+              engine_kwargs: Optional[Dict[str, Any]] = None
+              ) -> Tuple[np.ndarray, EnergyLedger]:
+    """Run one application kernel over a tiled scene, optionally in parallel.
+
+    Parameters
+    ----------
+    kernel:
+        Key into :data:`KERNELS` ('compositing' | 'interpolation' |
+        'matting').
+    inputs:
+        Named 2-D arrays, all of the *output* grid's shape; each tile task
+        receives the matching sub-arrays, flattened.
+    length:
+        SC stream length N.
+    tile:
+        Tile edge length in pixels.
+    jobs:
+        Worker processes; ``1`` executes in-process (no pool, same bits).
+    seed:
+        Root seed for the per-tile ``SeedSequence`` spawn.
+    engine_kwargs:
+        Extra :class:`InMemorySCEngine` constructor arguments (fault rates,
+        fault domain, ...) applied to every tile engine.
+
+    Returns
+    -------
+    ``(image, ledger)`` — the stitched output and the serial merge of all
+    tile ledgers.  The ledger models total device work and is independent
+    of ``jobs``; host-side wall-clock parallelism is not a hardware cost.
+    """
+    if kernel not in KERNELS:
+        raise ValueError(f"unknown tile kernel {kernel!r}")
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1")
+    shapes = {v.shape for v in inputs.values()}
+    if len(shapes) != 1 or any(len(s) != 2 for s in shapes):
+        raise ValueError("tiled inputs must share one 2-D shape")
+    (height, width), = shapes
+    grid = tile_grid(height, width, tile)
+    children = np.random.SeedSequence(seed).spawn(len(grid))
+    backend_name = get_backend().name
+    engine_kwargs = dict(engine_kwargs or {})
+
+    tasks = [
+        (backend_name, kernel,
+         {name: arr[r0:r1, c0:c1].ravel() for name, arr in inputs.items()},
+         length, engine_kwargs, children[i])
+        for i, (r0, r1, c0, c1) in enumerate(grid)
+    ]
+
+    if jobs == 1:
+        results = [_run_tile(t) for t in tasks]
+    else:
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            results = list(pool.map(_run_tile, tasks))
+
+    out = np.empty((height, width), dtype=np.float64)
+    ledger = EnergyLedger()
+    for (r0, r1, c0, c1), (tile_out, tile_ledger) in zip(grid, results):
+        out[r0:r1, c0:c1] = tile_out.reshape(r1 - r0, c1 - c0)
+        ledger.merge(tile_ledger)
+    return out, ledger

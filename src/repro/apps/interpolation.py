@@ -21,13 +21,14 @@ from typing import Tuple
 import numpy as np
 
 from ..bincim.design import BinaryCimDesign
-from ..core.bitstream import Bitstream
+from ..core.streambatch import StreamBatch
 from ..imsc.engine import InMemorySCEngine
 from .images import from_uint8, to_uint8
 
 __all__ = [
     "upscale_float",
     "upscale_sc",
+    "upscale_sc_kernel",
     "upscale_bincim",
     "neighbour_grid",
 ]
@@ -70,6 +71,39 @@ def upscale_float(image: np.ndarray, factor: int = 2) -> np.ndarray:
     return out.reshape(shape)
 
 
+def upscale_sc_kernel(engine: InMemorySCEngine, i11: np.ndarray,
+                      i12: np.ndarray, i21: np.ndarray, i22: np.ndarray,
+                      dx: np.ndarray, dy: np.ndarray, length: int,
+                      first_level_maj: bool = True) -> np.ndarray:
+    """Flat interpolation kernel over precomputed neighbour arrays.
+
+    The four neighbour roles are generated as one batched stream array and
+    split by payload slicing; the sharded executor calls this kernel per
+    output tile (neighbour lookup itself happens once, up front, in the
+    binary domain).
+    """
+    # Shared random-row fills (one per independent stream role) keep the
+    # per-pixel stochastic error spatially smooth; see compositing.
+    stacked = np.stack([i11, i12, i21, i22])
+    streams = StreamBatch.from_bitstream(
+        engine.generate_correlated(stacked, length))
+    s11, s12, s21, s22 = (streams.select(k).to_bitstream() for k in range(4))
+    sdy = engine.generate_correlated(dy, length)
+    if first_level_maj:
+        dx_lo = np.where(i21 >= i11, dx, 1.0 - dx)
+        dx_hi = np.where(i22 >= i12, dx, 1.0 - dx)
+        sel = StreamBatch.from_bitstream(
+            engine.generate_correlated(np.stack([dx_lo, dx_hi]), length))
+        low = engine.maj(s21, s11, sel.select(0).to_bitstream())
+        high = engine.maj(s22, s12, sel.select(1).to_bitstream())
+    else:
+        sdx = engine.generate_correlated(dx, length)
+        low = engine.mux(sdx, s11, s21)    # dx=1 -> i21
+        high = engine.mux(sdx, s12, s22)
+    out = engine.mux(sdy, low, high)       # dy=1 -> high
+    return engine.to_binary(out)
+
+
 def upscale_sc(engine: InMemorySCEngine, image: np.ndarray, length: int,
                factor: int = 2, first_level_maj: bool = True) -> np.ndarray:
     """SC bilinear up-scaling: two-level MUX tree on the engine.
@@ -80,24 +114,9 @@ def upscale_sc(engine: InMemorySCEngine, image: np.ndarray, length: int,
     explicit SL MUX because its operands are intermediate streams.
     """
     i11, i12, i21, i22, dx, dy, shape = neighbour_grid(image, factor)
-    # Shared random-row fills (one per independent stream role) keep the
-    # per-pixel stochastic error spatially smooth; see compositing.
-    stacked = np.stack([i11, i12, i21, i22])
-    streams = engine.generate_correlated(stacked, length)
-    s11, s12, s21, s22 = (Bitstream(streams.bits[k]) for k in range(4))
-    sdy = engine.generate_correlated(dy, length)
-    if first_level_maj:
-        dx_lo = np.where(i21 >= i11, dx, 1.0 - dx)
-        dx_hi = np.where(i22 >= i12, dx, 1.0 - dx)
-        sel = engine.generate_correlated(np.stack([dx_lo, dx_hi]), length)
-        low = engine.maj(s21, s11, Bitstream(sel.bits[0]))
-        high = engine.maj(s22, s12, Bitstream(sel.bits[1]))
-    else:
-        sdx = engine.generate_correlated(dx, length)
-        low = engine.mux(sdx, s11, s21)    # dx=1 -> i21
-        high = engine.mux(sdx, s12, s22)
-    out = engine.mux(sdy, low, high)       # dy=1 -> high
-    return engine.to_binary(out).reshape(shape)
+    out = upscale_sc_kernel(engine, i11, i12, i21, i22, dx, dy, length,
+                            first_level_maj=first_level_maj)
+    return out.reshape(shape)
 
 
 def upscale_bincim(design: BinaryCimDesign, image: np.ndarray,

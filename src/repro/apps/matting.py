@@ -26,11 +26,13 @@ from typing import Tuple
 import numpy as np
 
 from ..bincim.design import BinaryCimDesign
+from ..core.streambatch import StreamBatch
 from ..imsc.engine import InMemorySCEngine
 from .compositing import composite_float
 from .images import from_uint8, to_uint8
 
-__all__ = ["matting_float", "matting_sc", "matting_bincim"]
+__all__ = ["matting_float", "matting_sc", "matting_sc_kernel",
+           "matting_bincim"]
 
 
 def matting_float(composite: np.ndarray, background: np.ndarray,
@@ -45,22 +47,35 @@ def matting_float(composite: np.ndarray, background: np.ndarray,
     return np.clip(alpha, 0.0, 1.0)
 
 
+def matting_sc_kernel(engine: InMemorySCEngine, composite: np.ndarray,
+                      background: np.ndarray, foreground: np.ndarray,
+                      length: int) -> np.ndarray:
+    """Flat matting kernel: two correlated XORs feeding CORDIV.
+
+    The I/B/F stack is generated as one batched stream array and split by
+    payload slicing; CORDIV runs as the word-level byte scan of
+    :func:`repro.core.ops.div_cordiv`.
+    """
+    stacked = np.stack([composite, background, foreground])
+    streams = StreamBatch.from_bitstream(
+        engine.generate_correlated(stacked, length))
+    si = streams.select(0).to_bitstream()
+    sb = streams.select(1).to_bitstream()
+    sf = streams.select(2).to_bitstream()
+    num = engine.abs_subtract(si, sb)    # |I - B|
+    den = engine.abs_subtract(sf, sb)    # |F - B|
+    alpha = engine.divide(num, den)      # CORDIV: num/den
+    return engine.to_binary(alpha)
+
+
 def matting_sc(engine: InMemorySCEngine, composite: np.ndarray,
                background: np.ndarray, foreground: np.ndarray,
                length: int) -> np.ndarray:
     """SC alpha estimation: two correlated XORs feeding CORDIV."""
     shape = np.shape(composite)
-    stacked = np.stack([np.ravel(composite), np.ravel(background),
-                        np.ravel(foreground)])
-    streams = engine.generate_correlated(stacked, length)
-    from ..core.bitstream import Bitstream
-    si = Bitstream(streams.bits[0])
-    sb = Bitstream(streams.bits[1])
-    sf = Bitstream(streams.bits[2])
-    num = engine.abs_subtract(si, sb)    # |I - B|
-    den = engine.abs_subtract(sf, sb)    # |F - B|
-    alpha = engine.divide(num, den)      # CORDIV: num/den
-    return engine.to_binary(alpha).reshape(shape)
+    out = matting_sc_kernel(engine, np.ravel(composite), np.ravel(background),
+                            np.ravel(foreground), length)
+    return out.reshape(shape)
 
 
 def matting_bincim(design: BinaryCimDesign, composite: np.ndarray,

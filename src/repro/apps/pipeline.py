@@ -10,6 +10,25 @@ energy ledger:
 
 For matting, quality follows the paper's protocol: re-composite with the
 estimated alpha and compare against the blend using the true alpha.
+
+Batched word-domain execution
+-----------------------------
+The SC path runs entirely on batched stream arrays: operands are generated
+as one :class:`~repro.core.streambatch.StreamBatch` per role stack (shape
+``(..., words)`` in the active backend's layout) and split by payload
+slicing, so under the ``packed`` backend a whole image flows through
+generation → logic → fault injection → readout as uint64 words.
+
+Sharding (``jobs`` / ``tile``)
+------------------------------
+With ``tile=T`` the scene is decomposed into ``T x T`` tiles and fanned out
+through :mod:`repro.apps.executor` across ``jobs`` worker processes — the
+software analogue of per-mat execution.  Seeding contract: the untiled run
+(``tile=None``, the default) draws every stream from ``default_rng(seed)``
+in a fixed order and is bit-reproducible against earlier releases; tiled
+runs give tile *i* the *i*-th child of ``SeedSequence(seed).spawn(n)``, so
+results depend on the tile grid but **not** on ``jobs`` — ``jobs=1`` and
+``jobs=8`` are bit-identical.
 """
 
 from __future__ import annotations
@@ -24,8 +43,14 @@ from ..energy.model import EnergyLedger
 from ..imsc.engine import InMemorySCEngine
 from ..reram.faults import DEFAULT_FAULT_RATES, GateFaultRates
 from .compositing import composite_bincim, composite_float, composite_sc
+from .executor import run_tiled
 from .images import natural_scene, scene_triplet
-from .interpolation import upscale_bincim, upscale_float, upscale_sc
+from .interpolation import (
+    neighbour_grid,
+    upscale_bincim,
+    upscale_float,
+    upscale_sc_kernel,
+)
 from .matting import (
     matting_bincim,
     matting_float,
@@ -55,12 +80,11 @@ class AppResult:
     ledger: Optional[EnergyLedger] = None
 
 
-def _make_engine(length: int, faulty: bool,
-                 fault_rates: Optional[GateFaultRates],
-                 seed: Optional[int]) -> InMemorySCEngine:
+def _engine_kwargs(faulty: bool, fault_rates: Optional[GateFaultRates],
+                   fault_domain: str) -> Dict[str, object]:
     rates = (fault_rates if fault_rates is not None
              else DEFAULT_FAULT_RATES) if faulty else None
-    return InMemorySCEngine(fault_rates=rates, rng=seed)
+    return {"fault_rates": rates, "fault_domain": fault_domain}
 
 
 def run_app(app: str, backend: str, length: int = 128,
@@ -69,7 +93,9 @@ def run_app(app: str, backend: str, length: int = 128,
             bincim_fault_rate: float = 1e-4,
             bincim_fault_granularity: str = "gate",
             size: int = 48, upscale_factor: int = 2,
-            seed: Optional[int] = 0) -> AppResult:
+            seed: Optional[int] = 0,
+            jobs: int = 1, tile: Optional[int] = None,
+            fault_domain: str = "word") -> AppResult:
     """Execute one application on one backend and score it.
 
     Parameters
@@ -91,12 +117,41 @@ def run_app(app: str, backend: str, length: int = 128,
         Scene edge length in pixels.
     seed:
         Scene and fault-sampling seed.
+    jobs / tile:
+        SC-only sharding controls: ``tile=T`` splits the scene into
+        ``T x T`` tiles with deterministic per-tile seeds and ``jobs=N``
+        fans them out over N worker processes (see module docs and
+        :mod:`repro.apps.executor`).  ``tile=None`` keeps the whole-image
+        path, whose streams are bit-reproducible across releases;
+        ``jobs > 1`` therefore requires an explicit ``tile``.
+    fault_domain:
+        'word' (default) or 'bit' — forwarded to the engine; 'bit' is the
+        per-bit conformance oracle and produces bit-identical output.
     """
     if app not in APPS:
         raise ValueError(f"unknown app {app!r}")
     if backend not in BACKENDS:
         raise ValueError(f"unknown backend {backend!r}")
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1")
+    if tile is not None and tile < 1:
+        raise ValueError("tile must be None or a positive integer")
+    if backend != "sc" and (jobs != 1 or tile is not None):
+        raise ValueError("jobs/tile sharding applies to the 'sc' backend only")
+    if tile is None and jobs != 1:
+        raise ValueError("jobs > 1 requires a tile size (tile=None runs "
+                         "the whole image in-process)")
     scene_rng = np.random.default_rng(seed)
+    kwargs = _engine_kwargs(faulty, fault_rates, fault_domain)
+
+    def sc_run(kernel: str, inputs: Dict[str, np.ndarray],
+               whole_image) -> Tuple[np.ndarray, EnergyLedger]:
+        """Tiled or whole-image SC execution of one app."""
+        if tile is None:
+            engine = InMemorySCEngine(rng=seed, **kwargs)
+            return whole_image(engine), engine.ledger
+        return run_tiled(kernel, inputs, length, tile=tile, jobs=jobs,
+                         seed=seed, engine_kwargs=kwargs)
 
     if app == "compositing":
         background, foreground, alpha = scene_triplet(size, size, scene_rng)
@@ -104,9 +159,12 @@ def run_app(app: str, backend: str, length: int = 128,
         if backend == "float":
             output, ledger = reference.copy(), None
         elif backend == "sc":
-            engine = _make_engine(length, faulty, fault_rates, seed)
-            output = composite_sc(engine, foreground, background, alpha, length)
-            ledger = engine.ledger
+            output, ledger = sc_run(
+                "compositing",
+                {"foreground": foreground, "background": background,
+                 "alpha": alpha},
+                lambda e: composite_sc(e, foreground, background, alpha,
+                                       length))
         else:
             design = BinaryCimDesign(
                 fault_rate=bincim_fault_rate if faulty else 0.0,
@@ -120,9 +178,18 @@ def run_app(app: str, backend: str, length: int = 128,
         if backend == "float":
             output, ledger = reference.copy(), None
         elif backend == "sc":
-            engine = _make_engine(length, faulty, fault_rates, seed)
-            output = upscale_sc(engine, image, length, upscale_factor)
-            ledger = engine.ledger
+            # One neighbour lookup serves both paths: the whole-image run
+            # feeds the flat arrays straight to the kernel, the tiled run
+            # slices their 2-D views per tile.
+            i11, i12, i21, i22, dx, dy, oshape = neighbour_grid(
+                image, upscale_factor)
+            output, ledger = sc_run(
+                "interpolation",
+                {name: arr.reshape(oshape) for name, arr in
+                 (("i11", i11), ("i12", i12), ("i21", i21), ("i22", i22),
+                  ("dx", dx), ("dy", dy))},
+                lambda e: upscale_sc_kernel(
+                    e, i11, i12, i21, i22, dx, dy, length).reshape(oshape))
         else:
             design = BinaryCimDesign(
                 fault_rate=bincim_fault_rate if faulty else 0.0,
@@ -137,10 +204,12 @@ def run_app(app: str, backend: str, length: int = 128,
             alpha_est, ledger = matting_float(composite, background,
                                               foreground), None
         elif backend == "sc":
-            engine = _make_engine(length, faulty, fault_rates, seed)
-            alpha_est = matting_sc(engine, composite, background, foreground,
-                                   length)
-            ledger = engine.ledger
+            alpha_est, ledger = sc_run(
+                "matting",
+                {"composite": composite, "background": background,
+                 "foreground": foreground},
+                lambda e: matting_sc(e, composite, background, foreground,
+                                     length))
         else:
             design = BinaryCimDesign(
                 fault_rate=bincim_fault_rate if faulty else 0.0,

@@ -13,7 +13,10 @@ Usage::
 
 Every target accepts ``--backend {unpacked,packed}`` to pick the
 bit-stream execution backend (default: the ``REPRO_BACKEND`` environment
-variable, falling back to ``unpacked``).
+variable, falling back to ``unpacked``).  The application targets
+(``table4``) additionally accept ``--tile T --jobs N`` to shard each scene
+into ``T x T`` tiles across N worker processes (deterministic per-tile
+seeds; output is independent of N — see :mod:`repro.apps.executor`).
 
 Prints ASCII renderings of the paper's tables/figures using the same
 experiment runners the benchmark suite drives.
@@ -67,7 +70,8 @@ def _print_table3(args) -> None:
 
 def _print_table4(args) -> None:
     result = ex.table4_quality(runs=args.runs, size=args.size,
-                               seed=args.seed)
+                               seed=args.seed, jobs=args.jobs,
+                               tile=args.tile)
     apps = ("compositing", "interpolation", "matting")
     rows = [[label] + [f"{v[a][0]:.1f}/{v[a][1]:.1f}" for a in apps]
             for label, v in result.items()]
@@ -123,12 +127,21 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--size", type=int, default=32,
                         help="scene edge length for table IV")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for tiled SC application "
+                             "runs (table4); values > 1 require --tile")
+    parser.add_argument("--tile", type=int, default=None,
+                        help="tile edge length for sharded SC application "
+                             "runs (table4); default: whole-image")
     parser.add_argument("--backend", choices=available_backends(),
                         default=None,
                         help="bit-stream execution backend (overrides the "
                              "REPRO_BACKEND environment variable)")
     args = parser.parse_args(argv)
 
+    if args.jobs > 1 and args.tile is None:
+        parser.error("--jobs > 1 requires --tile (whole-image runs are "
+                     "single-process)")
     if args.backend is not None:
         set_backend(args.backend)
 

@@ -154,6 +154,75 @@ def max_or(x: Bitstream, y: Bitstream) -> Bitstream:
     return x | y
 
 
+# ----------------------------------------------------------------------
+# Sequential dividers: word-level state propagation
+# ----------------------------------------------------------------------
+# The sequential SC ops (CORDIV, the JK divider) are 1-bit finite-state
+# machines clocked once per stream position.  Instead of a python loop over
+# N bit positions, both run a *byte-level scan*: every (state, x_byte,
+# y_byte) combination is precomputed into transition tables, so the scan
+# advances 8 stream bits per step with one vectorised table gather over the
+# batch.  The packbits byte layout (MSB-first inside each byte) matches the
+# stream order under both backends, so the same scan serves `unpacked` and
+# `packed` payloads via `Bitstream.packed()` / `Bitstream.from_packed`.
+
+_BYTE_BITS = np.unpackbits(np.arange(256, dtype=np.uint8)[:, None], axis=1)
+
+
+class _ByteScanner:
+    """Transition tables for a 1-bit FSM advanced one byte at a time.
+
+    ``step(state, x_bit, y_bit) -> (out_bit, next_state)`` defines the
+    per-cycle recurrence; the constructor unrolls it over all ``2 * 256 *
+    256`` (state, x_byte, y_byte) combinations into an output-byte table and
+    a next-state table.
+    """
+
+    def __init__(self, step) -> None:
+        out = np.zeros((2, 256, 256), dtype=np.uint8)
+        nxt = np.zeros((2, 256, 256), dtype=np.uint8)
+        xb = _BYTE_BITS[:, None, :]      # (256, 1, 8)
+        yb = _BYTE_BITS[None, :, :]      # (1, 256, 8)
+        for s in (0, 1):
+            state = np.full((256, 256), s, dtype=np.uint8)
+            acc = np.zeros((256, 256), dtype=np.uint8)
+            for k in range(8):
+                bit, state = step(state, xb[..., k], yb[..., k])
+                acc |= (bit.astype(np.uint8) << (7 - k)).astype(np.uint8)
+            out[s] = acc
+            nxt[s] = state
+        self._out = out
+        self._next = nxt
+
+    def scan(self, x: Bitstream, y: Bitstream, init: int = 0) -> Bitstream:
+        """Run the FSM over a stream pair, one table gather per byte."""
+        xb = x.packed()
+        yb = y.packed()
+        res = np.empty_like(xb)
+        state = np.full(xb.shape[:-1], init, dtype=np.uint8)
+        for k in range(xb.shape[-1]):
+            col = (state, xb[..., k], yb[..., k])
+            res[..., k] = self._out[col]
+            state = self._next[col]
+        # from_packed masks the stray bits the FSM produced past N in the
+        # final byte (the held state leaks into the zero padding).
+        return Bitstream.from_packed(res, x.length, backend=x.backend)
+
+
+def _cordiv_step(state, x_bit, y_bit):
+    out = (y_bit & x_bit) | ((1 - y_bit) & state)
+    return out, out
+
+
+def _jk_step(state, j_bit, k_bit):
+    state = (j_bit & (1 - state)) | ((1 - k_bit) & state)
+    return state, state
+
+
+_CORDIV_SCANNER = _ByteScanner(_cordiv_step)
+_JK_SCANNER = _ByteScanner(_jk_step)
+
+
 def div_cordiv(x: Bitstream, y: Bitstream) -> Bitstream:
     """CORDIV division ``x / y`` for correlated streams with ``x <= y``.
 
@@ -166,22 +235,14 @@ def div_cordiv(x: Bitstream, y: Bitstream) -> Bitstream:
 
     With maximally correlated inputs, ``P(x=1 | y=1) = px / py``, so the
     quotient stream converges to ``x / y``.  This is inherently sequential
-    (O(N) cycles) — the in-memory engine maps the flip-flop onto the
-    peripheral write-driver latches (Sec. III-B) to avoid intermediate
-    writes; see :mod:`repro.imsc.engine` for the cost model.
+    (O(N) cycles in hardware) — the in-memory engine maps the flip-flop onto
+    the peripheral write-driver latches (Sec. III-B) to avoid intermediate
+    writes; see :mod:`repro.imsc.engine` for the cost model.  In software
+    the recurrence executes as a byte-level table scan (8 stream bits per
+    step) under both backends.
     """
     _check_same_length(x, y)
-    xb = x.bits
-    yb = y.bits
-    out = np.empty_like(xb)
-    # Flip-flop state per batch element, initialised to 0.
-    state = np.zeros(xb.shape[:-1], dtype=np.uint8)
-    for i in range(x.length):
-        xi = xb[..., i]
-        yi = yb[..., i]
-        out[..., i] = np.where(yi == 1, xi, state)
-        state = np.where(yi == 1, xi, state)
-    return Bitstream(out, backend=x.backend)
+    return _CORDIV_SCANNER.scan(x, y, init=0)
 
 
 def div_jk(j: Bitstream, k: Bitstream,
@@ -194,16 +255,10 @@ def div_jk(j: Bitstream, k: Bitstream,
     flip-flop structure as directly implementable in the ReRAM peripheral
     latches.
 
-    Truth table per cycle: ``Q' = J·~Q + ~K·Q`` (J=K=1 toggles).
+    Truth table per cycle: ``Q' = J·~Q + ~K·Q`` (J=K=1 toggles); like
+    :func:`div_cordiv`, the recurrence runs as a byte-level table scan.
     """
     _check_same_length(j, k)
-    jb = j.bits
-    kb = k.bits
-    out = np.empty_like(jb)
-    state = np.full(jb.shape[:-1], init, dtype=np.uint8)
-    for i in range(j.length):
-        ji = jb[..., i]
-        ki = kb[..., i]
-        state = (ji & (1 - state)) | ((1 - ki) & state)
-        out[..., i] = state
-    return Bitstream(out, backend=j.backend)
+    if init not in (0, 1):
+        raise ValueError("init must be 0 or 1")
+    return _JK_SCANNER.scan(j, k, init=init)

@@ -20,6 +20,36 @@ from one execution.  The engine duck-types the SNG interface
 (``generate`` / ``generate_pair`` / ``generate_correlated``) so it drops
 into :class:`~repro.core.flow.ScFlow` and the Monte-Carlo harness
 unchanged.
+
+Execution domains and the seeding contract
+------------------------------------------
+All stream state flows through :class:`~repro.core.streambatch.StreamBatch`
+payloads in the active backend's layout, so under the ``packed`` backend
+the whole engine — generation, logic ops, fault injection, the CORDIV
+scan — runs on uint64 words without ever unpacking (the analog S-to-B
+model is the one deliberate exception: it samples per-cell conductances in
+the bit domain).
+
+``fault_domain`` selects how faults are *applied*:
+
+* ``'word'`` (default) — fault masks are sampled in the bit domain (so the
+  RNG consumption is identical to the oracle) but packed once and XOR-ed
+  into the payload at word granularity; stream data never unpacks.
+* ``'bit'`` — the historical per-bit reference implementation: the IMSNG
+  greater-than scan, bit-flip application and the CORDIV recurrence all run
+  one uint8 byte per bit.  This is the conformance oracle (and the
+  benchmark baseline): for the same seed it is bit-identical to ``'word'``
+  under every backend, which ``tests/test_backend_equivalence.py`` asserts.
+
+RNG draw order is part of the engine's contract — two engines built with
+the same seed produce bit-identical streams regardless of backend or fault
+domain.  Specifically: TRNG planes are drawn before any fault mask; each
+sensing step draws one mask of the full bit shape (``batch + (length,)``);
+the faulty CORDIV draws its two read masks *per stream position*
+(``x_i`` then ``y_i``), matching the latch-by-latch sensing order.  Fault-
+free generation skips the per-step scan entirely and evaluates the
+equivalent MSB-first comparison ``X > RN`` in one vectorised step — a pure
+optimisation that consumes no additional randomness.
 """
 
 from __future__ import annotations
@@ -30,6 +60,7 @@ import numpy as np
 
 from ..core.bitstream import Bitstream
 from ..core.encoding import quantize
+from ..core.streambatch import StreamBatch
 from ..core import ops as scops
 from ..energy.model import EnergyLedger
 from ..energy.params import DEFAULT_RERAM_COSTS, ReRamStepCosts
@@ -68,6 +99,10 @@ class InMemorySCEngine:
         Device parameters (for the S-to-B analog path) and step costs.
     ideal_stob:
         Bypass the ADC path with an exact popcount (for ablation).
+    fault_domain:
+        'word' (default) applies fault masks in the backend's word layout;
+        'bit' is the per-bit conformance oracle (see module docs).  Both are
+        bit-identical for the same seed.
     """
 
     def __init__(self, segment_bits: int = 8, mode: str = "opt",
@@ -76,9 +111,12 @@ class InMemorySCEngine:
                  device: DeviceParams = DEFAULT_DEVICE,
                  costs: ReRamStepCosts = DEFAULT_RERAM_COSTS,
                  ideal_stob: bool = False,
-                 rng: Union[np.random.Generator, int, None] = None):
+                 rng: Union[np.random.Generator, int, None] = None,
+                 fault_domain: str = "word"):
         if mode not in ("naive", "opt"):
             raise ValueError("mode must be 'naive' or 'opt'")
+        if fault_domain not in ("word", "bit"):
+            raise ValueError("fault_domain must be 'word' or 'bit'")
         self.segment_bits = segment_bits
         self.mode = mode
         self.fault_rates = fault_rates
@@ -87,6 +125,7 @@ class InMemorySCEngine:
         self.device = device
         self.costs = costs
         self.ideal_stob = ideal_stob
+        self.fault_domain = fault_domain
         self._gen = (rng if isinstance(rng, np.random.Generator)
                      else np.random.default_rng(rng))
         self._stob = InMemoryStoB(device, rng=self._gen)
@@ -95,14 +134,25 @@ class InMemorySCEngine:
     # ------------------------------------------------------------------
     # Fault helpers
     # ------------------------------------------------------------------
-    def _flip(self, bits: np.ndarray, gate: str) -> np.ndarray:
+    def _rate(self, gate: str) -> float:
         if self.fault_rates is None:
-            return bits
-        p = self.fault_rates.for_gate(gate)
+            return 0.0
+        return self.fault_rates.for_gate(gate)
+
+    def _flip(self, bits: np.ndarray, gate: str) -> np.ndarray:
+        """Per-bit oracle: flip each bit of an unpacked array at the gate rate."""
+        p = self._rate(gate)
         if p <= 0.0:
             return bits
         mask = (self._gen.random(bits.shape) < p).astype(np.uint8)
         return bits ^ mask
+
+    def _flip_batch(self, sb: StreamBatch, gate: str) -> StreamBatch:
+        """Word-domain flip: same RNG draw as :meth:`_flip`, packed once."""
+        p = self._rate(gate)
+        if p <= 0.0:
+            return sb
+        return sb.flip(self._gen.random(sb.shape) < p)
 
     # ------------------------------------------------------------------
     # TRNG bit-planes
@@ -131,8 +181,16 @@ class InMemorySCEngine:
             planes[i] = np.broadcast_to(bit[..., None], codes.shape + (length,))
         return planes
 
-    def _gt_scan(self, a_planes: np.ndarray, rn_planes: np.ndarray) -> np.ndarray:
-        """The faulty greater-than scan (one sensed gate per step)."""
+    def _rn_integers(self, rn_planes: np.ndarray) -> np.ndarray:
+        """Collapse M bit-planes into MSB-first integers per stream position."""
+        rn = np.zeros(rn_planes.shape[1:], dtype=np.int64)
+        for i in range(self.segment_bits):
+            rn = (rn << 1) | rn_planes[i]
+        return rn
+
+    def _gt_scan_bits(self, a_planes: np.ndarray,
+                      rn_planes: np.ndarray) -> np.ndarray:
+        """Per-bit oracle of the faulty greater-than scan (one gate per step)."""
         shape = a_planes.shape[1:]
         flag = np.ones(shape, dtype=np.uint8)
         gt = np.zeros(shape, dtype=np.uint8)
@@ -151,6 +209,67 @@ class InMemorySCEngine:
             gt = self._flip(gt | term, "or")
         return gt
 
+    def _gt_scan_words(self, codes: np.ndarray, rn_planes: np.ndarray,
+                       length: int) -> StreamBatch:
+        """Word-domain faulty scan: identical draws, word-level traffic.
+
+        Operand planes enter as per-element constant streams (one payload
+        row instead of ``length`` repeated bytes); RN planes pack once per
+        step.  Every ``_flip_batch`` consumes the same full-bit-shape draw
+        the oracle does, so outputs are bit-identical for the same seed.
+        """
+        batch = codes.shape
+        flag = StreamBatch.ones(batch, length)
+        gt = StreamBatch.zeros(batch, length)
+        backend = gt.backend
+        naive = self.mode == "naive"
+        m = self.segment_bits
+        for i in range(m):
+            a_i = StreamBatch.constant((codes >> (m - 1 - i)) & 1, length,
+                                       backend)
+            rn_i = StreamBatch.from_bits(rn_planes[i], backend)
+            diff = self._flip_batch(self._broadcast(a_i ^ rn_i, batch), "xor")
+            term = self._flip_batch(a_i & diff, "and")
+            if naive:
+                term = self._flip_batch(term & flag, "and")
+                flag = self._flip_batch(flag & ~diff, "and")
+            else:
+                term = term & flag
+                flag = flag & ~diff
+            gt = self._flip_batch(gt | term, "or")
+        return gt
+
+    @staticmethod
+    def _broadcast(sb: StreamBatch, batch: Tuple[int, ...]) -> StreamBatch:
+        """Materialise a batch-broadcast payload (needed before fancy ops)."""
+        if sb.batch_shape == batch:
+            return sb
+        data = np.broadcast_to(sb.data, batch + sb.data.shape[-1:])
+        return StreamBatch(np.ascontiguousarray(data), sb.length, sb.backend)
+
+    def _sbs_from_planes(self, codes: np.ndarray, rn_planes: np.ndarray,
+                         length: int) -> np.ndarray:
+        """Stream payload (as a Bitstream) for quantised codes vs RN planes.
+
+        Fault-free word-domain runs collapse the MSB-first greater-than scan
+        into one vectorised ``X > RN`` comparison (bit-identical, no extra
+        RNG); faulty runs execute the per-step scan, and the ``'bit'``
+        oracle always walks the historical per-bit scan (its ``_flip`` calls
+        are no-ops without fault rates), preserving the seed code path as a
+        like-for-like baseline.
+        """
+        if self.fault_rates is None and self.fault_domain == "word":
+            rn = self._rn_integers(rn_planes)
+            return StreamBatch.compare(codes, rn).to_bitstream()
+        if self.fault_domain == "bit":
+            a = self._operand_planes(codes, length)
+            full = np.broadcast_to(
+                rn_planes,
+                (self.segment_bits,) + codes.shape + (length,))
+            bits = self._gt_scan_bits(a, np.ascontiguousarray(full))
+            return Bitstream(bits)
+        return self._gt_scan_words(codes, rn_planes, length).to_bitstream()
+
     # ------------------------------------------------------------------
     # SNG interface
     # ------------------------------------------------------------------
@@ -166,28 +285,25 @@ class InMemorySCEngine:
         if count > 1:
             self.ledger.merge(unit.scaled(count - 1), overlapped=True)
 
+    def _reshape_out(self, stream: Bitstream, x) -> Bitstream:
+        return stream.reshape(*np.shape(x))
+
     def generate(self, x, length: int) -> Bitstream:
         """Independent SBS per element (fresh TRNG planes per element)."""
         codes = np.atleast_1d(self._codes(x))
-        a = self._operand_planes(codes, length)
         rn = self._trng_planes(codes.shape + (length,))
-        bits = self._gt_scan(a, rn)
+        out = self._sbs_from_planes(codes, rn, length)
         self._book_conversions(int(codes.size), length)
-        shape = np.shape(x) + (length,) if np.shape(x) else (length,)
-        return Bitstream(bits.reshape(shape))
+        return self._reshape_out(out, x)
 
     def generate_correlated(self, x, length: int) -> Bitstream:
         """One shared TRNG draw across the whole batch (SCC = +1)."""
         codes = np.atleast_1d(self._codes(x))
-        a = self._operand_planes(codes, length)
         rn1 = self._trng_planes((length,))
-        rn1 = rn1.reshape((self.segment_bits,) + (1,) * codes.ndim + (length,))
-        rn = np.broadcast_to(rn1,
-                             (self.segment_bits,) + codes.shape + (length,))
-        bits = self._gt_scan(a, np.ascontiguousarray(rn))
+        rn = rn1.reshape((self.segment_bits,) + (1,) * codes.ndim + (length,))
+        out = self._sbs_from_planes(codes, rn, length)
         self._book_conversions(int(codes.size), length)
-        shape = np.shape(x) + (length,) if np.shape(x) else (length,)
-        return Bitstream(bits.reshape(shape))
+        return self._reshape_out(out, x)
 
     def generate_pair(self, x, y, length: int,
                       correlated: bool) -> Tuple[Bitstream, Bitstream]:
@@ -196,15 +312,12 @@ class InMemorySCEngine:
         cy = np.atleast_1d(self._codes(y))
         if cx.shape != cy.shape:
             raise ValueError("operand batches must share a shape")
-        ax = self._operand_planes(cx, length)
-        ay = self._operand_planes(cy, length)
         rnx = self._trng_planes(cx.shape + (length,))
         rny = rnx if correlated else self._trng_planes(cy.shape + (length,))
-        bx = self._gt_scan(ax, rnx)
-        by = self._gt_scan(ay, rny)
+        bx = self._sbs_from_planes(cx, rnx, length)
+        by = self._sbs_from_planes(cy, rny, length)
         self._book_conversions(2 * int(cx.size), length)
-        shape = np.shape(x) + (length,) if np.shape(x) else (length,)
-        return (Bitstream(bx.reshape(shape)), Bitstream(by.reshape(shape)))
+        return (self._reshape_out(bx, x), self._reshape_out(by, x))
 
     # ------------------------------------------------------------------
     # SC operations (faulty bulk-bitwise execution)
@@ -223,11 +336,15 @@ class InMemorySCEngine:
 
         The gate semantics live in :mod:`repro.core.ops` only; this helper
         just injects the per-bit flip of the (one) faulty sensing step on
-        the op's output.
+        the op's output — in the word domain by default, through ``.bits``
+        under the per-bit oracle.
         """
         out = op_fn(*streams)
-        return Bitstream(self._flip(out.bits, gate),
-                         backend=streams[0].backend)
+        if self.fault_domain == "bit":
+            return Bitstream(self._flip(out.bits, gate),
+                             backend=streams[0].backend)
+        return self._flip_batch(StreamBatch.from_bitstream(out),
+                                gate).to_bitstream()
 
     def multiply(self, x: Bitstream, y: Bitstream) -> Bitstream:
         if self.fault_rates is None:
@@ -282,18 +399,38 @@ class InMemorySCEngine:
         return out
 
     def divide(self, x: Bitstream, y: Bitstream) -> Bitstream:
-        """CORDIV on the peripheral latches, one faulty step per bit."""
-        xb, yb = x.bits, y.bits
-        out = np.empty_like(xb)
-        state = np.zeros(xb.shape[:-1], dtype=np.uint8)
-        for i in range(x.length):
-            xi = self._flip(xb[..., i], "read")
-            yi = self._flip(yb[..., i], "read")
-            out_i = np.where(yi == 1, xi, state)
-            state = out_i
-            out[..., i] = out_i
+        """CORDIV on the peripheral latches, one faulty step per bit.
+
+        The faulty path samples its two read masks per stream position
+        (``x_i`` then ``y_i``) — the latch-by-latch sensing order — so the
+        word-domain scan consumes the RNG exactly like the per-bit oracle.
+        """
+        p_read = self._rate("read")
+        if self.fault_domain == "bit":
+            # Conformance oracle: the historical per-bit latch recurrence.
+            xb, yb = x.bits, y.bits
+            out = np.empty_like(xb)
+            state = np.zeros(xb.shape[:-1], dtype=np.uint8)
+            for i in range(x.length):
+                xi = self._flip(xb[..., i], "read")
+                yi = self._flip(yb[..., i], "read")
+                out_i = np.where(yi == 1, xi, state)
+                state = out_i
+                out[..., i] = out_i
+            result = Bitstream(out, backend=x.backend)
+        else:
+            if p_read > 0.0:
+                bshape = x.batch_shape
+                mx = np.empty(bshape + (x.length,), dtype=bool)
+                my = np.empty(bshape + (x.length,), dtype=bool)
+                for i in range(x.length):
+                    mx[..., i] = self._gen.random(bshape) < p_read
+                    my[..., i] = self._gen.random(bshape) < p_read
+                x = StreamBatch.from_bitstream(x).flip(mx).to_bitstream()
+                y = StreamBatch.from_bitstream(y).flip(my).to_bitstream()
+            result = scops.div_cordiv(x, y)
         self._book_op("division", x.length, self._unary_batch(x))
-        return Bitstream(out, backend=x.backend)
+        return result
 
     def maj(self, x: Bitstream, y: Bitstream, z: Bitstream) -> Bitstream:
         if self.fault_rates is None:
@@ -308,14 +445,23 @@ class InMemorySCEngine:
 
         ``b`` when ``sel`` is 1.  Unlike the majority blend this is exact
         for any operand ordering and correlation, at 3x the sensing cost
-        (and 3 fault sites instead of 1).
+        (and 3 fault sites instead of 1).  The faulty path applies all
+        three flips in the configured domain — under ``'word'`` the operand
+        payloads never unpack.
         """
         if self.fault_rates is None:
             out = scops.mux2(sel, a, b)
-        else:
+        elif self.fault_domain == "bit":
             t1 = self._flip(sel.bits & b.bits, "and")
             t2 = self._flip((1 - sel.bits) & a.bits, "and")
             out = Bitstream(self._flip(t1 | t2, "or"), backend=a.backend)
+        else:
+            ss = StreamBatch.from_bitstream(sel)
+            sa = StreamBatch.from_bitstream(a)
+            sb = StreamBatch.from_bitstream(b)
+            t1 = self._flip_batch(ss & sb, "and")
+            t2 = self._flip_batch(~ss & sa, "and")
+            out = self._flip_batch(t1 | t2, "or").to_bitstream()
         batch = self._unary_batch(a)
         self._book_op("mux2", a.length, batch)
         return out

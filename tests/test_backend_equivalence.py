@@ -25,6 +25,10 @@ from repro.core.bitstream import Bitstream
 from repro.core.correlation import correlation_matrix, overlap_probability, scc
 from repro.core.sng import ComparatorSng, IdealBitSource, SegmentSng, unary_stream
 from repro.core.rng import Lfsr, SoftwareRng
+from repro.core.streambatch import StreamBatch
+from repro.apps import run_app
+from repro.imsc.engine import InMemorySCEngine
+from repro.reram.faults import GateFaultRates
 
 BACKENDS = ("unpacked", "packed")
 LENGTHS = (1, 7, 64, 127, 1000)
@@ -265,3 +269,221 @@ def test_packed_canonical_tail_stays_zero():
     # Payload tail bits beyond N are zero in canonical form.
     raw = inverted._data
     assert int(np.bitwise_count(raw).sum()) == 70
+
+
+# ----------------------------------------------------------------------
+# StreamBatch: payload-level batch container
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("name", BACKENDS)
+@pytest.mark.parametrize("length", (7, 64, 127))
+class TestStreamBatch:
+    def test_select_and_ops_match_bits(self, name, length):
+        rng = np.random.default_rng(41)
+        xb = _rand_bits(rng, (3, 5), length)
+        yb = _rand_bits(rng, (3, 5), length)
+        sx = StreamBatch.from_bits(xb, name)
+        sy = StreamBatch.from_bits(yb, name)
+        np.testing.assert_array_equal(sx.select(1).bits, xb[1])
+        np.testing.assert_array_equal(sx[2].select(0).bits, xb[2][0])
+        np.testing.assert_array_equal((sx & sy).bits, xb & yb)
+        np.testing.assert_array_equal((sx | sy).bits, xb | yb)
+        np.testing.assert_array_equal((sx ^ sy).bits, xb ^ yb)
+        np.testing.assert_array_equal((~sx).bits, 1 - xb)
+        np.testing.assert_array_equal(sx.popcount(),
+                                      xb.sum(axis=-1, dtype=np.int64))
+        np.testing.assert_array_equal(
+            StreamBatch.maj(sx, sy, ~sx).bits,
+            (xb & yb) | (xb & (1 - xb)) | (yb & (1 - xb)))
+
+    def test_roundtrip_bitstream_zero_copy(self, name, length):
+        rng = np.random.default_rng(42)
+        xb = _rand_bits(rng, (4,), length)
+        with use_backend(name):
+            bs = Bitstream(xb)
+        sb = StreamBatch.from_bitstream(bs)
+        assert sb.data is bs._data
+        back = sb.to_bitstream()
+        assert back._data is sb.data
+        assert back == bs
+
+    def test_flip_constant_compare(self, name, length):
+        rng = np.random.default_rng(43)
+        xb = _rand_bits(rng, (6,), length)
+        mask = rng.random((6, length)) < 0.3
+        got = StreamBatch.from_bits(xb, name).flip(mask)
+        np.testing.assert_array_equal(got.bits, xb ^ mask.astype(np.uint8))
+        const = StreamBatch.constant(np.array([0, 1, 1, 0]), length, name)
+        np.testing.assert_array_equal(
+            const.bits, np.array([0, 1, 1, 0], np.uint8)[:, None]
+            * np.ones(length, np.uint8))
+        codes = rng.integers(0, 256, size=(5,))
+        rn = rng.integers(0, 256, size=(length,))
+        cmp_ = StreamBatch.compare(codes, rn, name)
+        np.testing.assert_array_equal(
+            cmp_.bits, (codes[:, None] > rn[None, :]).astype(np.uint8))
+
+    def test_scc_matches_bitstream_metric(self, name, length):
+        rng = np.random.default_rng(44)
+        xb = _rand_bits(rng, (4,), length)
+        yb = _rand_bits(rng, (4,), length)
+        got = StreamBatch.from_bits(xb, name).scc(
+            StreamBatch.from_bits(yb, name))
+        want = scc(Bitstream(xb, backend=name), Bitstream(yb, backend=name))
+        np.testing.assert_allclose(got, want, rtol=0, atol=0)
+
+
+# ----------------------------------------------------------------------
+# Faulty engine: word-domain flips vs the per-bit oracle
+# ----------------------------------------------------------------------
+# Rates chosen so every gate (including the CORDIV read latches) actually
+# flips bits during the test.
+_TEST_RATES = GateFaultRates(and2=0.02, or2=0.015, xor2=0.03, maj3=0.02,
+                             read=0.01)
+
+
+def _engine_recipe(backend_name, fault_domain, faulty=True, length=96,
+                   seed=1234):
+    """One fixed tour through every engine stage; returns raw bit arrays."""
+    rates = _TEST_RATES if faulty else None
+    with use_backend(backend_name):
+        eng = InMemorySCEngine(fault_rates=rates, rng=seed,
+                               fault_domain=fault_domain, ideal_stob=True)
+        x = np.linspace(0.05, 0.95, 12).reshape(3, 4)
+        y = x[::-1]
+        out = []
+        sx = eng.generate(x, length)
+        sy = eng.generate_correlated(y, length)
+        pa, pb = eng.generate_pair(x, y, length, correlated=True)
+        out += [sx.bits, sy.bits, pa.bits, pb.bits]
+        r = eng.generate(np.full(x.shape, 0.5), length)
+        for op in (eng.multiply, eng.approx_add, eng.abs_subtract,
+                   eng.minimum, eng.maximum, eng.divide):
+            out.append(op(sy, sx).bits)
+        out.append(eng.scaled_add(sx, sy, r).bits)
+        out.append(eng.maj(sx, sy, r).bits)
+        out.append(eng.mux(r, sx, sy).bits)
+        out.append(np.asarray(eng.to_binary(sx)))
+        return [np.array(a, copy=True) for a in out]
+
+
+class TestFaultyEngineEquivalence:
+    """Word-domain fault injection is bit-exact vs the per-bit oracle."""
+
+    @pytest.mark.parametrize("mode", ("naive", "opt"))
+    def test_gt_scan_domains_agree(self, mode):
+        length = 77
+        for name in BACKENDS:
+            with use_backend(name):
+                ref = None
+                for domain in ("bit", "word"):
+                    eng = InMemorySCEngine(mode=mode, fault_rates=_TEST_RATES,
+                                           rng=7, fault_domain=domain)
+                    got = eng.generate(np.linspace(0, 1, 9), length).bits
+                    if ref is None:
+                        ref = got
+                    else:
+                        np.testing.assert_array_equal(
+                            got, ref, err_msg=f"{mode}/{name}/{domain}")
+
+    @pytest.mark.parametrize("faulty", (False, True),
+                             ids=("fault-free", "faulty"))
+    def test_full_recipe_all_domains_and_backends(self, faulty):
+        reference = _engine_recipe("unpacked", "bit", faulty)
+        for name in BACKENDS:
+            for domain in ("bit", "word"):
+                got = _engine_recipe(name, domain, faulty)
+                assert len(got) == len(reference)
+                for i, (g, w) in enumerate(zip(got, reference)):
+                    np.testing.assert_array_equal(
+                        g, w,
+                        err_msg=f"stage #{i} differs ({name}/{domain})")
+
+    def test_fault_free_fast_path_matches_per_bit_scan(self):
+        # The vectorised X > RN comparison must equal the historical
+        # MSB-first scan bit for bit (same TRNG draws, no extra RNG).
+        x = np.linspace(0.0, 1.0, 33)
+        for name in BACKENDS:
+            with use_backend(name):
+                fast = InMemorySCEngine(rng=11, fault_domain="word")
+                slow = InMemorySCEngine(rng=11, fault_domain="bit")
+                np.testing.assert_array_equal(
+                    fast.generate_correlated(x, 130).bits,
+                    slow.generate_correlated(x, 130).bits)
+
+    def test_no_unpack_on_packed_fast_path(self, monkeypatch):
+        """Engine ops must never leave the word domain under `packed`.
+
+        Covers the fault-free fast path AND word-domain fault injection;
+        only the per-bit oracle (and the analog S-to-B model) may unpack.
+        """
+        def boom(self, data, length):
+            raise AssertionError("silent unpack on the packed hot path")
+
+        monkeypatch.setattr(PackedBackend, "unpack", boom)
+        with use_backend("packed"):
+            for rates in (None, _TEST_RATES):
+                eng = InMemorySCEngine(fault_rates=rates, rng=3,
+                                       ideal_stob=True)
+                x = eng.generate_correlated(np.linspace(0.1, 0.9, 8), 96)
+                y = eng.generate(np.linspace(0.2, 0.8, 8), 96)
+                r = eng.generate(np.full(8, 0.5), 96)
+                eng.multiply(x, y)
+                eng.maj(x, y, r)
+                eng.mux(r, x, y)
+                eng.abs_subtract(x, y)
+                eng.divide(eng.minimum(x, y), eng.maximum(x, y))
+                eng.to_binary(x)
+
+
+# ----------------------------------------------------------------------
+# run_app: sharded executor equivalence + quality pinned to seed values
+# ----------------------------------------------------------------------
+# Seeded quality of the *untiled* SC pipeline (length=64, size=24, seed=3),
+# recorded from the pre-refactor per-pixel implementation.  Any drift means
+# the stream bits changed.
+PINNED_RUN_APP = {
+    # app: (faulty, ssim_pct, psnr_db)
+    ("compositing", False): (92.0743228902705, 28.529692781849363),
+    ("compositing", True): (90.15592830612565, 27.56678281921518),
+    ("interpolation", False): (88.38105346722713, 28.35142099982967),
+    ("interpolation", True): (79.76320811304551, 27.21821222058037),
+    ("matting", False): (97.38044101019061, 35.28308203957352),
+    ("matting", True): (94.61673326969256, 32.665413628096395),
+}
+
+
+class TestRunAppSharding:
+    @pytest.mark.parametrize("faulty", (False, True),
+                             ids=("fault-free", "faulty"))
+    @pytest.mark.parametrize("app", ("compositing", "interpolation",
+                                     "matting"))
+    def test_quality_pinned_vs_seed_values(self, app, faulty):
+        r = run_app(app, "sc", length=64, size=24, seed=3, faulty=faulty)
+        ssim, psnr = PINNED_RUN_APP[(app, faulty)]
+        assert r.ssim_pct == pytest.approx(ssim, rel=1e-9)
+        assert r.psnr_db == pytest.approx(psnr, rel=1e-9)
+
+    @pytest.mark.parametrize("app", ("compositing", "interpolation",
+                                     "matting"))
+    def test_jobs_do_not_change_output(self, app):
+        base = run_app(app, "sc", length=32, size=20, seed=5, tile=8, jobs=1)
+        fan = run_app(app, "sc", length=32, size=20, seed=5, tile=8, jobs=3)
+        np.testing.assert_array_equal(base.output, fan.output)
+        assert fan.ledger.energy_j == pytest.approx(base.ledger.energy_j)
+        assert fan.ledger.latency_s == pytest.approx(base.ledger.latency_s)
+
+    def test_faulty_tiled_matches_per_bit_oracle(self):
+        word = run_app("matting", "sc", length=32, size=20, seed=9,
+                       faulty=True, tile=8, jobs=2, fault_domain="word")
+        bit = run_app("matting", "sc", length=32, size=20, seed=9,
+                      faulty=True, tile=8, jobs=1, fault_domain="bit")
+        np.testing.assert_array_equal(word.output, bit.output)
+
+    def test_sharding_rejected_off_sc(self):
+        with pytest.raises(ValueError, match="'sc' backend only"):
+            run_app("compositing", "float", tile=8)
+        with pytest.raises(ValueError, match="'sc' backend only"):
+            run_app("matting", "bincim", jobs=2)
+        # jobs without a tile grid would silently run single-process.
+        with pytest.raises(ValueError, match="requires a tile size"):
+            run_app("matting", "sc", jobs=2)
