@@ -24,6 +24,8 @@ test-packed:
 bench-smoke:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_backend.py \
 		--length 131072 --batch 128 --repeats 2
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_stob.py \
+		--streams 8192 --length 256 --repeats 2
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_apps.py \
 		--length 64 --size 24 --tile 12 --jobs 2 --repeats 1 --apps matting
 

@@ -4,11 +4,11 @@ Workload: the three Table IV applications through ``run_app`` (scene
 generation, SNG, SC ops, S-to-B and quality scoring included) at a
 realistic size/length, under three execution configurations:
 
-* ``seed``           — the unpacked backend driving the per-bit oracle
-  (``fault_domain='bit'``): the pre-refactor per-pixel execution path,
-  kept in-tree for conformance.
+* ``seed``           — the unpacked backend driving the per-bit oracles
+  (``fault_domain='bit'``, ``cell_model='per-bit'``): the pre-refactor
+  per-pixel execution path, kept in-tree for conformance.
 * ``packed``         — the packed (uint64 word) backend with word-domain
-  execution, whole-image.
+  execution and the batched column S-to-B model, whole-image.
 * ``packed+sharded`` — the same plus the tile executor
   (``tile``/``jobs``), which also shrinks per-stage working sets to
   cache-friendly sizes.
@@ -35,15 +35,15 @@ FULL_LENGTH = 512
 FULL_SIZE = 48
 FULL_TILE = 32
 
-#: Configurations: name -> (backend, fault_domain, use sharding?).
+#: Configurations: name -> (backend, fault_domain, cell_model, sharded?).
 CONFIGS = (
-    ("seed", "unpacked", "bit", False),
-    ("packed", "packed", "word", False),
-    ("packed+sharded", "packed", "word", True),
+    ("seed", "unpacked", "bit", "per-bit", False),
+    ("packed", "packed", "word", "column", False),
+    ("packed+sharded", "packed", "word", "column", True),
 )
 
 
-def _time_config(app: str, backend: str, domain: str, shard: bool,
+def _time_config(app: str, backend: str, domain: str, cell: str, shard: bool,
                  length: int, size: int, tile: int, jobs: int,
                  repeats: int, faulty: bool, seed: int) -> float:
     """Best-of-``repeats`` wall time of one full ``run_app`` execution."""
@@ -52,7 +52,7 @@ def _time_config(app: str, backend: str, domain: str, shard: bool,
         with use_backend(backend):
             t0 = time.perf_counter()
             run_app(app, "sc", length=length, size=size, seed=seed,
-                    faulty=faulty, fault_domain=domain,
+                    faulty=faulty, fault_domain=domain, cell_model=cell,
                     tile=tile if shard else None, jobs=jobs if shard else 1)
             best = min(best, time.perf_counter() - t0)
     return best
@@ -66,9 +66,10 @@ def compare_apps(length: int = FULL_LENGTH, size: int = FULL_SIZE,
               "faulty": faulty, "apps": {}}
     for app in apps:
         rows = {}
-        for name, backend, domain, shard in CONFIGS:
-            rows[name] = _time_config(app, backend, domain, shard, length,
-                                      size, tile, jobs, repeats, faulty, seed)
+        for name, backend, domain, cell, shard in CONFIGS:
+            rows[name] = _time_config(app, backend, domain, cell, shard,
+                                      length, size, tile, jobs, repeats,
+                                      faulty, seed)
         result["apps"][app] = {
             "seconds": rows,
             "speedup": {name: rows["seed"] / rows[name] for name in rows},
@@ -85,7 +86,7 @@ def render(result: dict) -> str:
     ]
     for app, row in result["apps"].items():
         parts = [f"  {app:>14}:"]
-        for name, _, _, _ in CONFIGS:
+        for name, _, _, _, _ in CONFIGS:
             parts.append(f"{name} {row['seconds'][name] * 1e3:8.1f} ms"
                          f" ({row['speedup'][name]:4.2f}x)")
         lines.append("   ".join(parts))
@@ -108,9 +109,11 @@ def test_app_throughput(benchmark):
         lambda: compare_apps(jobs=jobs), rounds=1, iterations=1)
     emit("Application throughput -- batched word-domain pipeline vs the "
          "seed per-pixel path", render(result))
-    # Acceptance guard: the batched packed pipeline must deliver >= 4x the
-    # seed path end-to-end on at least one application.
-    assert best_speedup(result) >= 4.0
+    # Acceptance guard: with the batched column S-to-B model the packed
+    # pipeline must deliver >= 8x the seed path end-to-end on at least one
+    # application (raised from 4x once the conversion step stopped
+    # dominating; observed ~13-16x on interpolation single-threaded).
+    assert best_speedup(result) >= 8.0
 
 
 def main() -> int:

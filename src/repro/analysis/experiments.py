@@ -138,20 +138,24 @@ def table3_hw_cost(length: int = 256) -> Dict[str, Dict[str, Dict[str, float]]]:
 def table4_quality(lengths: Sequence[int] = TABLE4_LENGTHS,
                    runs: int = 3, size: int = 32,
                    seed: int = 0, jobs: int = 1,
-                   tile: Optional[int] = None
+                   tile: Optional[int] = None,
+                   cell_model: str = "per-bit"
                    ) -> Dict[str, Dict[str, Tuple[float, float]]]:
     """SSIM(%)/PSNR(dB) grid of Table IV.
 
     Returns ``result[row][app] = (ssim_pct, psnr_db)`` with rows
     ``Binary CIM [faulty|ideal]`` and ``SC N=<n> [faulty|ideal]``, averaged
     over ``runs`` scenes/fault samples.  ``jobs``/``tile`` shard the SC
-    runs through the tile executor (see :mod:`repro.apps.executor`); the
-    binary/float backends always run whole-image.
+    runs through the tile executor (see :mod:`repro.apps.executor`) and
+    ``cell_model`` selects the S-to-B device model ('per-bit' oracle or
+    the batched 'column' readout); the binary/float backends always run
+    whole-image.
     """
     def avg(app: str, backend: str, length: int, faulty: bool
             ) -> Tuple[float, float]:
         ssims, psnrs = [], []
-        shard = {"jobs": jobs, "tile": tile} if backend == "sc" else {}
+        shard = ({"jobs": jobs, "tile": tile, "cell_model": cell_model}
+                 if backend == "sc" else {})
         for r in range(runs):
             res = run_app(app, backend, length=length, faulty=faulty,
                           size=size, seed=seed + r, **shard)

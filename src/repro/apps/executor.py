@@ -1,4 +1,4 @@
-"""Sharded tile executor for the application pipelines.
+"""Sharded tile executor for the application and filter pipelines.
 
 A scene is decomposed into square tiles; every tile becomes one independent
 unit of SC work (its own :class:`~repro.imsc.engine.InMemorySCEngine` and
@@ -21,13 +21,18 @@ Determinism contract
 Workers receive only picklable primitives (arrays, the kernel name, engine
 kwargs, a child ``SeedSequence``) and re-select the execution backend by
 name, so the pool behaves identically under ``fork`` and ``spawn`` start
-methods.
+methods.  The same :func:`pool_map` primitive backs the Monte-Carlo
+accuracy harness's sharded :func:`repro.core.accuracy.op_mse` path.
+
+Beyond the three evaluation applications, :data:`KERNELS` registers the
+four SC image filters of :mod:`repro.apps.filters`; filter-specific
+parameters (``gamma``, ``lo``/``hi``, ...) travel via ``kernel_kwargs``.
 """
 
 from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -35,17 +40,28 @@ from ..core.backend import get_backend, set_backend
 from ..energy.model import EnergyLedger
 from ..imsc.engine import InMemorySCEngine
 from .compositing import composite_sc_kernel
+from .filters import (
+    contrast_stretch_kernel,
+    gamma_correct_kernel,
+    mean_filter_kernel,
+    roberts_cross_kernel,
+)
 from .interpolation import upscale_sc_kernel
 from .matting import matting_sc_kernel
 
-__all__ = ["tile_grid", "run_tiled", "KERNELS"]
+__all__ = ["tile_grid", "run_tiled", "pool_map", "KERNELS"]
 
-#: Flat per-tile kernels, keyed by app name.  Each takes ``(engine,
-#: **named 1-D arrays, length=...)`` and returns a 1-D float image.
+#: Flat per-tile kernels, keyed by app/filter name.  Each takes ``(engine,
+#: **named 1-D arrays, length=..., **kernel_kwargs)`` and returns a 1-D
+#: float image.
 KERNELS = {
     "compositing": composite_sc_kernel,
     "interpolation": upscale_sc_kernel,
     "matting": matting_sc_kernel,
+    "roberts_cross": roberts_cross_kernel,
+    "mean_filter": mean_filter_kernel,
+    "gamma_correct": gamma_correct_kernel,
+    "contrast_stretch": contrast_stretch_kernel,
 }
 
 
@@ -62,21 +78,41 @@ def tile_grid(height: int, width: int,
             for c in range(0, width, tile)]
 
 
+def pool_map(fn: Callable[[Any], Any], tasks: Sequence[Any],
+             jobs: int) -> List[Any]:
+    """Deterministic map over picklable tasks, fanned over ``jobs`` workers.
+
+    ``jobs=1`` runs in-process (no pool, identical results); results are
+    always returned in task order, so callers reducing over them are
+    independent of worker scheduling.
+    """
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1")
+    if jobs == 1:
+        return [fn(t) for t in tasks]
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        return list(pool.map(fn, tasks))
+
+
 def _run_tile(task: Tuple[str, str, Dict[str, np.ndarray], int,
-                          Dict[str, Any], np.random.SeedSequence]
+                          Dict[str, Any], Dict[str, Any],
+                          np.random.SeedSequence]
               ) -> Tuple[np.ndarray, EnergyLedger]:
     """Execute one tile: fresh engine, deterministic child RNG."""
-    backend_name, kernel_name, arrays, length, engine_kwargs, child = task
+    (backend_name, kernel_name, arrays, length, engine_kwargs,
+     kernel_kwargs, child) = task
     set_backend(backend_name)
     engine = InMemorySCEngine(rng=np.random.default_rng(child),
                               **engine_kwargs)
-    out = KERNELS[kernel_name](engine, length=length, **arrays)
+    out = KERNELS[kernel_name](engine, length=length, **arrays,
+                               **kernel_kwargs)
     return np.asarray(out, dtype=np.float64), engine.ledger
 
 
 def run_tiled(kernel: str, inputs: Dict[str, np.ndarray], length: int, *,
               tile: int, jobs: int = 1, seed: Optional[int] = 0,
-              engine_kwargs: Optional[Dict[str, Any]] = None
+              engine_kwargs: Optional[Dict[str, Any]] = None,
+              kernel_kwargs: Optional[Dict[str, Any]] = None
               ) -> Tuple[np.ndarray, EnergyLedger]:
     """Run one application kernel over a tiled scene, optionally in parallel.
 
@@ -84,10 +120,12 @@ def run_tiled(kernel: str, inputs: Dict[str, np.ndarray], length: int, *,
     ----------
     kernel:
         Key into :data:`KERNELS` ('compositing' | 'interpolation' |
-        'matting').
+        'matting' | 'roberts_cross' | 'mean_filter' | 'gamma_correct' |
+        'contrast_stretch').
     inputs:
         Named 2-D arrays, all of the *output* grid's shape; each tile task
-        receives the matching sub-arrays, flattened.
+        receives the matching sub-arrays, flattened.  The filter modules
+        export ``*_inputs`` helpers building these from a source image.
     length:
         SC stream length N.
     tile:
@@ -98,7 +136,11 @@ def run_tiled(kernel: str, inputs: Dict[str, np.ndarray], length: int, *,
         Root seed for the per-tile ``SeedSequence`` spawn.
     engine_kwargs:
         Extra :class:`InMemorySCEngine` constructor arguments (fault rates,
-        fault domain, ...) applied to every tile engine.
+        fault domain, cell model, ...) applied to every tile engine.
+    kernel_kwargs:
+        Extra keyword arguments forwarded to the kernel itself (e.g.
+        ``gamma``/``degree`` for 'gamma_correct', ``lo``/``hi`` for
+        'contrast_stretch').  Must be picklable.
 
     Returns
     -------
@@ -108,8 +150,6 @@ def run_tiled(kernel: str, inputs: Dict[str, np.ndarray], length: int, *,
     """
     if kernel not in KERNELS:
         raise ValueError(f"unknown tile kernel {kernel!r}")
-    if jobs < 1:
-        raise ValueError("jobs must be >= 1")
     shapes = {v.shape for v in inputs.values()}
     if len(shapes) != 1 or any(len(s) != 2 for s in shapes):
         raise ValueError("tiled inputs must share one 2-D shape")
@@ -118,19 +158,16 @@ def run_tiled(kernel: str, inputs: Dict[str, np.ndarray], length: int, *,
     children = np.random.SeedSequence(seed).spawn(len(grid))
     backend_name = get_backend().name
     engine_kwargs = dict(engine_kwargs or {})
+    kernel_kwargs = dict(kernel_kwargs or {})
 
     tasks = [
         (backend_name, kernel,
          {name: arr[r0:r1, c0:c1].ravel() for name, arr in inputs.items()},
-         length, engine_kwargs, children[i])
+         length, engine_kwargs, kernel_kwargs, children[i])
         for i, (r0, r1, c0, c1) in enumerate(grid)
     ]
 
-    if jobs == 1:
-        results = [_run_tile(t) for t in tasks]
-    else:
-        with ProcessPoolExecutor(max_workers=jobs) as pool:
-            results = list(pool.map(_run_tile, tasks))
+    results = pool_map(_run_tile, tasks, jobs)
 
     out = np.empty((height, width), dtype=np.float64)
     ledger = EnergyLedger()

@@ -81,10 +81,11 @@ class AppResult:
 
 
 def _engine_kwargs(faulty: bool, fault_rates: Optional[GateFaultRates],
-                   fault_domain: str) -> Dict[str, object]:
+                   fault_domain: str, cell_model: str) -> Dict[str, object]:
     rates = (fault_rates if fault_rates is not None
              else DEFAULT_FAULT_RATES) if faulty else None
-    return {"fault_rates": rates, "fault_domain": fault_domain}
+    return {"fault_rates": rates, "fault_domain": fault_domain,
+            "cell_model": cell_model}
 
 
 def run_app(app: str, backend: str, length: int = 128,
@@ -95,7 +96,8 @@ def run_app(app: str, backend: str, length: int = 128,
             size: int = 48, upscale_factor: int = 2,
             seed: Optional[int] = 0,
             jobs: int = 1, tile: Optional[int] = None,
-            fault_domain: str = "word") -> AppResult:
+            fault_domain: str = "word",
+            cell_model: str = "per-bit") -> AppResult:
     """Execute one application on one backend and score it.
 
     Parameters
@@ -127,6 +129,12 @@ def run_app(app: str, backend: str, length: int = 128,
     fault_domain:
         'word' (default) or 'bit' — forwarded to the engine; 'bit' is the
         per-bit conformance oracle and produces bit-identical output.
+    cell_model:
+        S-to-B device-variability model forwarded to the SC engine:
+        'per-bit' (default — bit-reproducible against earlier releases) or
+        'column' (batched popcount readout with cached per-column draws;
+        statistically equivalent and much faster, see
+        :mod:`repro.imsc.stob`).  Ignored by the other backends.
     """
     if app not in APPS:
         raise ValueError(f"unknown app {app!r}")
@@ -142,7 +150,7 @@ def run_app(app: str, backend: str, length: int = 128,
         raise ValueError("jobs > 1 requires a tile size (tile=None runs "
                          "the whole image in-process)")
     scene_rng = np.random.default_rng(seed)
-    kwargs = _engine_kwargs(faulty, fault_rates, fault_domain)
+    kwargs = _engine_kwargs(faulty, fault_rates, fault_domain, cell_model)
 
     def sc_run(kernel: str, inputs: Dict[str, np.ndarray],
                whole_image) -> Tuple[np.ndarray, EnergyLedger]:

@@ -16,7 +16,11 @@ bit-stream execution backend (default: the ``REPRO_BACKEND`` environment
 variable, falling back to ``unpacked``).  The application targets
 (``table4``) additionally accept ``--tile T --jobs N`` to shard each scene
 into ``T x T`` tiles across N worker processes (deterministic per-tile
-seeds; output is independent of N — see :mod:`repro.apps.executor`).
+seeds; output is independent of N — see :mod:`repro.apps.executor`) and
+``--cell-model {per-bit,column}`` to pick the S-to-B device model:
+``per-bit`` is the historical per-cell sampling oracle, ``column`` the
+batched popcount readout with cached per-column conductance draws
+(statistically equivalent, much faster — see :mod:`repro.imsc.stob`).
 
 Prints ASCII renderings of the paper's tables/figures using the same
 experiment runners the benchmark suite drives.
@@ -71,7 +75,7 @@ def _print_table3(args) -> None:
 def _print_table4(args) -> None:
     result = ex.table4_quality(runs=args.runs, size=args.size,
                                seed=args.seed, jobs=args.jobs,
-                               tile=args.tile)
+                               tile=args.tile, cell_model=args.cell_model)
     apps = ("compositing", "interpolation", "matting")
     rows = [[label] + [f"{v[a][0]:.1f}/{v[a][1]:.1f}" for a in apps]
             for label, v in result.items()]
@@ -133,6 +137,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--tile", type=int, default=None,
                         help="tile edge length for sharded SC application "
                              "runs (table4); default: whole-image")
+    parser.add_argument("--cell-model", choices=["per-bit", "column"],
+                        default="per-bit", dest="cell_model",
+                        help="S-to-B device model for SC application runs "
+                             "(table4): 'per-bit' samples every cell (the "
+                             "conformance oracle), 'column' is the batched "
+                             "popcount readout with cached per-column "
+                             "conductance draws")
     parser.add_argument("--backend", choices=available_backends(),
                         default=None,
                         help="bit-stream execution backend (overrides the "

@@ -7,15 +7,30 @@ the recovered and the exact result.
 
 The harness is chunked so that million-sample sweeps at N = 512 stay within
 a modest memory budget.
+
+Sharded execution (``jobs``)
+----------------------------
+:func:`op_mse` can fan its Monte-Carlo chunks over the tile executor's
+process pool (:func:`repro.apps.executor.pool_map`).  Because the classic
+path threads one stateful generator through the chunks sequentially, the
+sharded path instead gives every chunk a deterministic child of
+``SeedSequence(seed)`` and builds a *fresh* generator from a caller-supplied
+picklable factory — pass a callable ``factory(seed_sequence) -> sng`` as
+the ``sng`` argument.  Chunk results are reduced in chunk order, so
+``op_mse(..., jobs=1)`` and ``op_mse(..., jobs=N)`` are bit-identical (the
+regression suite asserts this); both differ from the legacy shared-object
+path, which remains untouched for the pinned Table I/II values.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from math import ceil
 from typing import Callable, Dict, Optional, Tuple, Union
 
 import numpy as np
 
+from .backend import get_backend, set_backend
 from .bitstream import Bitstream
 from . import ops
 
@@ -145,8 +160,52 @@ OP_SPECS: Dict[str, OpSpec] = {
 }
 
 
+def _op_chunk_sq_err(spec: OpSpec, sng, gen: np.random.Generator,
+                     n: int, length: int) -> float:
+    """Sum of squared recovery errors over one operand chunk."""
+    u = gen.random(n)
+    v = gen.random(n)
+    x, y = spec.domain(u, v)
+    sx, sy = sng.generate_pair(x, y, length, correlated=spec.correlated)
+    aux = None
+    if spec.needs_half_stream:
+        aux = sng.generate(np.full(n, 0.5), length)
+    out = spec.compute(sx, sy, aux)
+    err = out.value() - spec.exact(x, y)
+    return float(np.sum(err * err))
+
+
+def _op_mse_chunk(task) -> float:
+    """Worker for the sharded path: one chunk, fresh deterministic state."""
+    backend_name, op_key, factory, length, n, child = task
+    set_backend(backend_name)
+    spec = OP_SPECS[op_key]
+    operand_seed, sng_seed = child.spawn(2)
+    gen = np.random.default_rng(operand_seed)
+    sng = factory(sng_seed)
+    return _op_chunk_sq_err(spec, sng, gen, n, length)
+
+
+def _op_mse_sharded(op: Union[str, OpSpec], factory, length: int,
+                    samples: int, seed: Optional[int], chunk: int,
+                    jobs: int) -> float:
+    if not isinstance(op, str):
+        raise ValueError("the sharded op_mse path needs an OP_SPECS key "
+                         "(workers resolve the spec by name)")
+    n_chunks = ceil(samples / chunk)
+    children = np.random.SeedSequence(seed).spawn(n_chunks)
+    sizes = [min(chunk, samples - i * chunk) for i in range(n_chunks)]
+    backend_name = get_backend().name
+    tasks = [(backend_name, op, factory, length, n, child)
+             for n, child in zip(sizes, children)]
+    from ..apps.executor import pool_map  # deferred: core must not need apps
+    totals = pool_map(_op_mse_chunk, tasks, jobs)
+    return float(sum(totals)) / samples * 100.0
+
+
 def op_mse(op: Union[str, OpSpec], sng, length: int, samples: int = 50_000,
-           seed: Optional[int] = 0, chunk: int = 4096) -> float:
+           seed: Optional[int] = 0, chunk: int = 4096,
+           jobs: int = 1) -> float:
     """MSE(%) of one SC arithmetic operation (Table II cell).
 
     Parameters
@@ -154,27 +213,33 @@ def op_mse(op: Union[str, OpSpec], sng, length: int, samples: int = 50_000,
     op:
         Key into :data:`OP_SPECS` or an :class:`OpSpec`.
     sng:
-        Any generator exposing ``generate`` and ``generate_pair``.
+        Any generator exposing ``generate`` and ``generate_pair`` (the
+        classic sequential path), *or* a picklable factory callable
+        ``factory(seed_sequence) -> sng`` — in which case every chunk gets
+        a fresh generator seeded from a deterministic per-chunk
+        ``SeedSequence`` child and chunks may fan out over worker
+        processes (see module docs).
     length:
         Stream length N.
     samples / chunk:
         Monte-Carlo sample count and processing chunk size.
+    jobs:
+        Worker processes for the sharded (factory) path; the result is
+        independent of ``jobs``.  Requires a factory: the sequential path
+        threads one stateful generator and cannot be split.
     """
+    if callable(sng) and not hasattr(sng, "generate"):
+        return _op_mse_sharded(op, sng, length, samples, seed, chunk, jobs)
+    if jobs != 1:
+        raise ValueError("op_mse(jobs=N) requires an sng *factory* "
+                         "(callable(seed_sequence) -> sng); a shared sng "
+                         "object cannot be sharded deterministically")
     spec = OP_SPECS[op] if isinstance(op, str) else op
     gen = np.random.default_rng(seed)
     total = 0.0
     done = 0
     while done < samples:
         n = min(chunk, samples - done)
-        u = gen.random(n)
-        v = gen.random(n)
-        x, y = spec.domain(u, v)
-        sx, sy = sng.generate_pair(x, y, length, correlated=spec.correlated)
-        aux = None
-        if spec.needs_half_stream:
-            aux = sng.generate(np.full(n, 0.5), length)
-        out = spec.compute(sx, sy, aux)
-        err = out.value() - spec.exact(x, y)
-        total += float(np.sum(err * err))
+        total += _op_chunk_sq_err(spec, sng, gen, n, length)
         done += n
     return total / samples * 100.0

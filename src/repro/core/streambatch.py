@@ -246,6 +246,31 @@ class StreamBatch:
                              sel.length),
             sel.length, sel.backend)
 
+    @staticmethod
+    def exact_count(streams: Sequence["StreamBatch"]) -> "list[StreamBatch]":
+        """One-hot count indicators over parallel stream batches.
+
+        Given ``d`` equal-shape batches, returns ``d + 1`` batches
+        ``E[0] .. E[d]`` where bit ``j`` of ``E[k]`` is 1 iff *exactly*
+        ``k`` of the inputs have bit ``j`` set — the symmetric function
+        behind the Bernstein MUX network (the select population count of
+        :func:`repro.apps.filters.gamma_correct_sc`).  Evaluated by
+        word-domain dynamic programming (two ANDs + an OR per input and
+        count), so packed payloads never unpack.
+        """
+        group = list(streams)
+        if not group:
+            raise ValueError("exact_count needs at least one stream batch")
+        first = group[0]
+        e = [StreamBatch.ones(first.batch_shape, first.length, first.backend)]
+        for x in group:
+            nx = ~x
+            nxt = [e[0] & nx]
+            nxt.extend((e[k] & nx) | (e[k - 1] & x) for k in range(1, len(e)))
+            nxt.append(e[-1] & x)
+            e = nxt
+        return e
+
     def flip(self, mask: np.ndarray) -> "StreamBatch":
         """XOR a boolean per-bit fault mask into the payload.
 

@@ -12,7 +12,12 @@ fault sites* of the in-memory implementation:
 * **SC ops** — one faulty sensing step per bulk-bitwise op; CORDIV division
   runs its sequential latch recurrence with per-cycle fault sites.
 * **S-to-B** — the reference-column/ADC path of
-  :class:`~repro.imsc.stob.InMemoryStoB`.
+  :class:`~repro.imsc.stob.InMemoryStoB`.  ``cell_model`` selects its
+  device-variability model: ``'per-bit'`` (default) is the historical
+  per-cell sampling oracle; ``'column'`` computes the column current from
+  the packed popcount with cached per-column draws and a variance-matched
+  noise term — statistically equivalent, never unpacks, and orders of
+  magnitude cheaper on batched readouts (see :mod:`repro.imsc.stob`).
 
 Every stage also books its cost into an :class:`~repro.energy.model
 .EnergyLedger`, so an application run yields quality *and* latency/energy
@@ -27,8 +32,11 @@ All stream state flows through :class:`~repro.core.streambatch.StreamBatch`
 payloads in the active backend's layout, so under the ``packed`` backend
 the whole engine — generation, logic ops, fault injection, the CORDIV
 scan — runs on uint64 words without ever unpacking (the analog S-to-B
-model is the one deliberate exception: it samples per-cell conductances in
-the bit domain).
+model joins them under ``cell_model='column'``; the per-bit cell model is
+the one deliberate exception, sampling per-cell conductances in the bit
+domain as the conformance oracle).  :meth:`InMemorySCEngine.to_binary`
+accepts :class:`~repro.core.streambatch.StreamBatch` payloads natively, so
+batched pipelines read out without a ``Bitstream`` round-trip.
 
 ``fault_domain`` selects how faults are *applied*:
 
@@ -103,6 +111,10 @@ class InMemorySCEngine:
         'word' (default) applies fault masks in the backend's word layout;
         'bit' is the per-bit conformance oracle (see module docs).  Both are
         bit-identical for the same seed.
+    cell_model:
+        S-to-B device-variability model: 'per-bit' (default, the oracle —
+        bit-reproducible against earlier releases) or 'column' (batched
+        popcount-based readout, statistically equivalent and much faster).
     """
 
     def __init__(self, segment_bits: int = 8, mode: str = "opt",
@@ -112,7 +124,8 @@ class InMemorySCEngine:
                  costs: ReRamStepCosts = DEFAULT_RERAM_COSTS,
                  ideal_stob: bool = False,
                  rng: Union[np.random.Generator, int, None] = None,
-                 fault_domain: str = "word"):
+                 fault_domain: str = "word",
+                 cell_model: str = "per-bit"):
         if mode not in ("naive", "opt"):
             raise ValueError("mode must be 'naive' or 'opt'")
         if fault_domain not in ("word", "bit"):
@@ -126,9 +139,11 @@ class InMemorySCEngine:
         self.costs = costs
         self.ideal_stob = ideal_stob
         self.fault_domain = fault_domain
+        self.cell_model = cell_model
         self._gen = (rng if isinstance(rng, np.random.Generator)
                      else np.random.default_rng(rng))
-        self._stob = InMemoryStoB(device, rng=self._gen)
+        self._stob = InMemoryStoB(device, rng=self._gen,
+                                  cell_model=cell_model)
         self.ledger = EnergyLedger()
 
     # ------------------------------------------------------------------
@@ -484,8 +499,15 @@ class InMemorySCEngine:
     # ------------------------------------------------------------------
     # S-to-B
     # ------------------------------------------------------------------
-    def to_binary(self, stream: Bitstream) -> np.ndarray:
-        """In-memory S-to-B: reference column + ADC (or ideal popcount)."""
+    def to_binary(self, stream: Union[Bitstream, StreamBatch]) -> np.ndarray:
+        """In-memory S-to-B: reference column + ADC (or ideal popcount).
+
+        Accepts a ``Bitstream`` or a ``StreamBatch`` natively, so batched
+        pipelines read out straight from the payload container.  Under
+        ``cell_model='column'`` (and under ``ideal_stob``) only the
+        backend-routed popcount touches the stream data — packed payloads
+        never unpack.
+        """
         n_vals = self._unary_batch(stream)
         self.ledger.merge(stob_cost(n_vals, self.costs, stream.length))
         if self.ideal_stob:
@@ -493,7 +515,7 @@ class InMemorySCEngine:
         return self._stob.convert(stream)
 
     # Alias so the engine satisfies the converter protocol of ScFlow.
-    def convert(self, stream: Bitstream) -> np.ndarray:
+    def convert(self, stream: Union[Bitstream, StreamBatch]) -> np.ndarray:
         return self.to_binary(stream)
 
     def reset_ledger(self) -> None:

@@ -52,6 +52,47 @@ class TestOpMse:
         assert maj == pytest.approx(mux, rel=0.5)
 
 
+def _sng_factory(seed_seq):
+    """Module-level (picklable) per-chunk SNG factory for sharded op_mse."""
+    return ComparatorSng(
+        SoftwareRng(8, seed=int(seed_seq.generate_state(1)[0])))
+
+
+class TestOpMseSharded:
+    def test_jobs_do_not_change_result(self):
+        # Chunk determinism: per-chunk SeedSequence children make the MSE a
+        # pure function of (seed, chunk), independent of the worker count.
+        base = op_mse("multiplication", _sng_factory, 64, samples=2_000,
+                      seed=9, chunk=512, jobs=1)
+        fan = op_mse("multiplication", _sng_factory, 64, samples=2_000,
+                     seed=9, chunk=512, jobs=3)
+        assert fan == base
+
+    def test_sharded_matches_expected_magnitude(self):
+        m = op_mse("multiplication", _sng_factory, 64, samples=2_000,
+                   seed=10, chunk=512, jobs=2)
+        assert 0.0 < m < 5.0
+
+    def test_uneven_tail_chunk_counted_once(self):
+        # samples not divisible by chunk: the tail chunk is smaller, and
+        # the normalisation must still be by the true sample count.
+        a = op_mse("minimum", _sng_factory, 32, samples=1_000, seed=11,
+                   chunk=384, jobs=1)
+        b = op_mse("minimum", _sng_factory, 32, samples=1_000, seed=11,
+                   chunk=384, jobs=2)
+        assert a == b and 0.0 <= a < 5.0
+
+    def test_shared_sng_rejects_jobs(self):
+        sng = ComparatorSng(SoftwareRng(8, seed=0))
+        with pytest.raises(ValueError, match="factory"):
+            op_mse("multiplication", sng, 64, samples=100, jobs=2)
+
+    def test_sharded_requires_spec_key(self):
+        with pytest.raises(ValueError, match="OP_SPECS key"):
+            op_mse(OP_SPECS["multiplication"], _sng_factory, 64,
+                   samples=100, jobs=2)
+
+
 class TestScFlow:
     def test_multiplication_flow(self):
         flow = ScFlow(lambda s: ops.mul_and(s["a"], s["b"]),

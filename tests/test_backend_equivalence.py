@@ -414,7 +414,9 @@ class TestFaultyEngineEquivalence:
         """Engine ops must never leave the word domain under `packed`.
 
         Covers the fault-free fast path AND word-domain fault injection;
-        only the per-bit oracle (and the analog S-to-B model) may unpack.
+        only the per-bit oracles (``fault_domain='bit'``,
+        ``cell_model='per-bit'``) may unpack — the column S-to-B model
+        reads out through the backend-routed popcount.
         """
         def boom(self, data, length):
             raise AssertionError("silent unpack on the packed hot path")
@@ -423,7 +425,7 @@ class TestFaultyEngineEquivalence:
         with use_backend("packed"):
             for rates in (None, _TEST_RATES):
                 eng = InMemorySCEngine(fault_rates=rates, rng=3,
-                                       ideal_stob=True)
+                                       cell_model="column")
                 x = eng.generate_correlated(np.linspace(0.1, 0.9, 8), 96)
                 y = eng.generate(np.linspace(0.2, 0.8, 8), 96)
                 r = eng.generate(np.full(8, 0.5), 96)
@@ -487,3 +489,95 @@ class TestRunAppSharding:
         # jobs without a tile grid would silently run single-process.
         with pytest.raises(ValueError, match="requires a tile size"):
             run_app("matting", "sc", jobs=2)
+
+
+# ----------------------------------------------------------------------
+# Filter kernels: golden values, backend equivalence, sharding, no-unpack
+# ----------------------------------------------------------------------
+from repro.apps.executor import run_tiled  # noqa: E402
+from repro.apps.filters import (  # noqa: E402
+    contrast_stretch_float,
+    contrast_stretch_inputs,
+    contrast_stretch_sc,
+    gamma_correct_float,
+    gamma_correct_inputs,
+    gamma_correct_sc,
+    mean_filter_float,
+    mean_filter_inputs,
+    mean_filter_sc,
+    roberts_cross_float,
+    roberts_cross_inputs,
+    roberts_cross_sc,
+)
+from repro.apps.images import natural_scene  # noqa: E402
+
+# Seeded MSE(%) vs the float reference of each filter (natural_scene 12x12
+# seed 21, N=128, engine rng=7, per-bit S-to-B), recorded at the StreamBatch
+# rewrite.  Identical under every backend; any drift means the stream bits
+# (or the S-to-B draws) changed.
+PINNED_FILTER_MSE = {
+    "roberts_cross": 0.07985303397144504,
+    "mean_filter": 0.061745319601497414,
+    "gamma_correct": 0.1123982305017882,
+    "contrast_stretch": 0.2043449752650328,
+}
+
+_FILTER_FNS = {
+    "roberts_cross": (roberts_cross_sc, roberts_cross_float),
+    "mean_filter": (mean_filter_sc, mean_filter_float),
+    "gamma_correct": (gamma_correct_sc, gamma_correct_float),
+    "contrast_stretch": (contrast_stretch_sc, contrast_stretch_float),
+}
+
+
+class TestFilterKernels:
+    @pytest.mark.parametrize("name", BACKENDS)
+    @pytest.mark.parametrize("filt", sorted(PINNED_FILTER_MSE))
+    def test_golden_mse_pinned_on_every_backend(self, name, filt):
+        image = natural_scene(12, 12, np.random.default_rng(21))
+        sc_fn, ref_fn = _FILTER_FNS[filt]
+        with use_backend(name):
+            eng = InMemorySCEngine(rng=7)
+            out = sc_fn(eng, image, 128)
+        mse = float(np.mean((out - ref_fn(image)) ** 2)) * 100.0
+        assert mse == pytest.approx(PINNED_FILTER_MSE[filt], rel=1e-9)
+
+    @pytest.mark.parametrize("filt", sorted(PINNED_FILTER_MSE))
+    def test_tiled_jobs_do_not_change_output(self, filt):
+        image = natural_scene(20, 20, np.random.default_rng(5))
+        inputs = {
+            "roberts_cross": roberts_cross_inputs,
+            "mean_filter": mean_filter_inputs,
+            "gamma_correct": gamma_correct_inputs,
+            "contrast_stretch": contrast_stretch_inputs,
+        }[filt](image)
+        kwargs = {"gamma_correct": {"gamma": 0.5},
+                  "contrast_stretch": {"lo": 0.25, "hi": 0.75}}.get(filt, {})
+        with use_backend("packed"):
+            base, led1 = run_tiled(filt, inputs, 32, tile=8, jobs=1, seed=5,
+                                   engine_kwargs={"cell_model": "column"},
+                                   kernel_kwargs=kwargs)
+            fan, led3 = run_tiled(filt, inputs, 32, tile=8, jobs=3, seed=5,
+                                  engine_kwargs={"cell_model": "column"},
+                                  kernel_kwargs=kwargs)
+        np.testing.assert_array_equal(base, fan)
+        assert led3.energy_j == pytest.approx(led1.energy_j)
+        assert led3.latency_s == pytest.approx(led1.latency_s)
+
+    def test_no_unpack_on_packed_filters(self, monkeypatch):
+        """The rewritten filter kernels must stay in the word domain.
+
+        The earlier implementation re-wrapped ``Bitstream(streams.bits[k])``,
+        forcing an unpack per operand role; with payload slicing plus the
+        column S-to-B model the whole filter datapath (including the
+        Bernstein select network) runs packed.
+        """
+        def boom(self, data, length):
+            raise AssertionError("silent unpack on a packed filter path")
+
+        monkeypatch.setattr(PackedBackend, "unpack", boom)
+        image = natural_scene(8, 8, np.random.default_rng(2))
+        with use_backend("packed"):
+            for filt, (sc_fn, _) in _FILTER_FNS.items():
+                eng = InMemorySCEngine(rng=1, cell_model="column")
+                sc_fn(eng, image, 64)

@@ -202,6 +202,78 @@ class TestStoB:
         out = e.to_binary(s)
         assert np.allclose(out, 0.3, atol=0.1)
 
+    def test_adc_map_survives_length_changes(self):
+        # Regression: changing the stream length used to discard the cached
+        # ADC, silently zeroing the conversions counter — mixed-length
+        # workloads under-reported ADC cost.
+        stob = InMemoryStoB(rng=6)
+        s64 = Bitstream.bernoulli(np.full(10, 0.5), 64, rng=1)
+        s128 = Bitstream.bernoulli(np.full(5, 0.5), 128, rng=2)
+        stob.convert(s64)
+        assert stob.conversions == 10
+        stob.convert(s128)
+        assert stob.conversions == 15
+        stob.convert(s64)
+        assert stob.conversions == 25
+
+    def test_invalid_cell_model_rejected(self):
+        with pytest.raises(ValueError, match="cell_model"):
+            InMemoryStoB(cell_model="per-word")
+        with pytest.raises(ValueError, match="cell_model"):
+            InMemorySCEngine(cell_model="per-word")
+
+    def test_column_model_recovery_accuracy(self):
+        stob = InMemoryStoB(rng=0, cell_model="column")
+        s = Bitstream.bernoulli(np.full(50, 0.6), 256, rng=1)
+        out = stob.convert(s)
+        assert np.allclose(out, s.value(), atol=0.08)
+
+    def test_column_model_accepts_streambatch(self):
+        from repro.core.streambatch import StreamBatch
+
+        bits = np.random.default_rng(2).integers(0, 2, (6, 128), np.uint8)
+        sb = StreamBatch.from_bits(bits, "packed")
+        vals = InMemoryStoB(rng=3, cell_model="column").convert(sb)
+        assert vals.shape == (6,)
+        assert np.all((vals >= 0.0) & (vals <= 1.0))
+
+    def test_column_matches_per_bit_statistics(self):
+        # The column model is variance-matched: the recovered values must
+        # agree with the per-bit oracle in mean and spread (not bit-wise).
+        s = Bitstream.bernoulli(np.full(8000, 0.37), 256, rng=4)
+        per_bit = InMemoryStoB(rng=5, cell_model="per-bit").convert(s)
+        column = InMemoryStoB(rng=6, cell_model="column").convert(s)
+        assert column.mean() == pytest.approx(per_bit.mean(), abs=0.003)
+        assert column.std() == pytest.approx(per_bit.std(), rel=0.08)
+
+    def test_column_caches_reused_across_conversions(self):
+        stob = InMemoryStoB(rng=7, cell_model="column")
+        s = Bitstream.bernoulli(np.full(20, 0.5), 128, rng=8)
+        stob.convert(s)
+        cols = dict(stob._columns)
+        stob.convert(s)
+        assert list(stob._columns) == list(cols)
+        for key, arr in cols.items():
+            assert stob._columns[key] is arr
+        assert stob.conversions == 40
+
+    def test_engine_column_cell_model(self):
+        e = InMemorySCEngine(rng=11, cell_model="column")
+        s = e.generate(np.full(30, 0.3), 256)
+        out = e.to_binary(s)
+        assert np.allclose(out, 0.3, atol=0.1)
+
+    def test_engine_to_binary_accepts_streambatch(self):
+        from repro.core.streambatch import StreamBatch
+
+        e = InMemorySCEngine(rng=12, cell_model="column")
+        sb = StreamBatch.from_bitstream(
+            e.generate_correlated(np.full((2, 15), 0.4), 256))
+        out = e.to_binary(sb)
+        assert out.shape == (2, 15)
+        assert np.allclose(out, 0.4, atol=0.1)
+        assert e.ledger.energy_j > 0
+
 
 class TestCostModel:
     def test_paper_anchor_naive(self):
