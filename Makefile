@@ -6,7 +6,8 @@
 PYTHON ?= python
 PYTEST = PYTHONPATH=src $(PYTHON) -m pytest
 
-.PHONY: test test-unpacked test-packed bench-smoke bench-backend bench-apps bench
+.PHONY: test test-unpacked test-packed test-faulty bench-smoke \
+	bench-backend bench-apps bench-faults bench
 
 test: test-unpacked test-packed bench-smoke
 
@@ -15,6 +16,13 @@ test-unpacked:
 
 test-packed:
 	REPRO_BACKEND=packed $(PYTEST) -x -q
+
+# Faulty-mode focus run: the fault-sampling conformance/golden suite under
+# both backends (a subset of the tier-1 suite, for quick iteration on the
+# fault model).
+test-faulty:
+	REPRO_BACKEND=unpacked $(PYTEST) -x -q tests/test_fault_sampling.py
+	REPRO_BACKEND=packed $(PYTEST) -x -q tests/test_fault_sampling.py
 
 # Quick throughput checks (~seconds): packed-vs-unpacked word chain plus a
 # tiny-config end-to-end app run (bench_apps pins each configuration's
@@ -28,10 +36,16 @@ bench-smoke:
 		--streams 8192 --length 256 --repeats 2
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_apps.py \
 		--length 64 --size 24 --tile 12 --jobs 2 --repeats 1 --apps matting
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_faults.py \
+		--length 64 --size 16 --repeats 1 --min-speedup 2
 
 # Full acceptance-scale backend benchmark (1e6-bit x 1024-stream chain).
 bench-backend:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_backend.py
+
+# Full acceptance-scale faulty-path benchmark (sparse vs dense sampling).
+bench-faults:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_faults.py
 
 # Full acceptance-scale application benchmark (seed path vs packed+sharded).
 bench-apps:

@@ -139,22 +139,26 @@ def table4_quality(lengths: Sequence[int] = TABLE4_LENGTHS,
                    runs: int = 3, size: int = 32,
                    seed: int = 0, jobs: int = 1,
                    tile: Optional[int] = None,
-                   cell_model: str = "per-bit"
+                   cell_model: str = "per-bit",
+                   fault_sampling: str = "dense"
                    ) -> Dict[str, Dict[str, Tuple[float, float]]]:
     """SSIM(%)/PSNR(dB) grid of Table IV.
 
     Returns ``result[row][app] = (ssim_pct, psnr_db)`` with rows
     ``Binary CIM [faulty|ideal]`` and ``SC N=<n> [faulty|ideal]``, averaged
     over ``runs`` scenes/fault samples.  ``jobs``/``tile`` shard the SC
-    runs through the tile executor (see :mod:`repro.apps.executor`) and
+    runs through the tile executor (see :mod:`repro.apps.executor`),
     ``cell_model`` selects the S-to-B device model ('per-bit' oracle or
-    the batched 'column' readout); the binary/float backends always run
-    whole-image.
+    the batched 'column' readout) and ``fault_sampling`` the fault-mask
+    model for the faulty SC rows ('dense' bit-exact oracle or the
+    statistically conformant 'sparse' Binomial scatter); the binary/float
+    backends always run whole-image.
     """
     def avg(app: str, backend: str, length: int, faulty: bool
             ) -> Tuple[float, float]:
         ssims, psnrs = [], []
-        shard = ({"jobs": jobs, "tile": tile, "cell_model": cell_model}
+        shard = ({"jobs": jobs, "tile": tile, "cell_model": cell_model,
+                  "fault_sampling": fault_sampling}
                  if backend == "sc" else {})
         for r in range(runs):
             res = run_app(app, backend, length=length, faulty=faulty,

@@ -31,6 +31,7 @@ parameters (``gamma``, ``lo``/``hi``, ...) travel via ``kernel_kwargs``.
 
 from __future__ import annotations
 
+import inspect
 from concurrent.futures import ProcessPoolExecutor
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -84,14 +85,58 @@ def pool_map(fn: Callable[[Any], Any], tasks: Sequence[Any],
 
     ``jobs=1`` runs in-process (no pool, identical results); results are
     always returned in task order, so callers reducing over them are
-    independent of worker scheduling.
+    independent of worker scheduling.  The pool never spawns more workers
+    than there are tasks — a small faulty sweep with ``jobs=8`` and three
+    tiles pays three process startups, not eight.
     """
     if jobs < 1:
         raise ValueError("jobs must be >= 1")
-    if jobs == 1:
+    workers = min(jobs, len(tasks))
+    if workers <= 1:
         return [fn(t) for t in tasks]
-    with ProcessPoolExecutor(max_workers=jobs) as pool:
+    with ProcessPoolExecutor(max_workers=workers) as pool:
         return list(pool.map(fn, tasks))
+
+
+def _validate_task_kwargs(kernel: str, input_names: Sequence[str],
+                          engine_kwargs: Dict[str, Any],
+                          kernel_kwargs: Dict[str, Any]) -> None:
+    """Fail fast, in the parent, on kwargs the workers would choke on.
+
+    A bad key would otherwise surface only inside a worker process as an
+    opaque pickled ``TypeError``; checking against the engine constructor
+    and the kernel signature here names the offending key directly.
+    Engine kwarg *values* are probed too, by constructing a throwaway
+    engine (cheap — no stream state), so e.g. an invalid
+    ``fault_sampling`` string is rejected with the engine's own message.
+    """
+    engine_params = set(
+        inspect.signature(InMemorySCEngine.__init__).parameters) - {"self"}
+    for key in engine_kwargs:
+        if key == "rng":
+            raise ValueError("engine_kwargs must not contain 'rng': each "
+                             "tile engine derives its generator from the "
+                             "per-tile SeedSequence child")
+        if key not in engine_params:
+            raise ValueError(
+                f"unknown engine kwarg {key!r}; valid keys: "
+                f"{', '.join(sorted(engine_params - {'rng'}))}")
+    InMemorySCEngine(**engine_kwargs)
+    reserved = set(input_names)
+    for key in kernel_kwargs:
+        if key in reserved:
+            raise ValueError(f"kernel kwarg {key!r} collides with a tiled "
+                             f"input array of the same name")
+    sig = inspect.signature(KERNELS[kernel])
+    if any(p.kind is inspect.Parameter.VAR_KEYWORD
+           for p in sig.parameters.values()):
+        return
+    kernel_params = set(sig.parameters) - {"engine", "length"}
+    for key in kernel_kwargs:
+        if key not in kernel_params:
+            raise ValueError(
+                f"unknown kwarg {key!r} for kernel {kernel!r}; valid keys: "
+                f"{', '.join(sorted(kernel_params - reserved)) or '(none)'}")
 
 
 def _run_tile(task: Tuple[str, str, Dict[str, np.ndarray], int,
@@ -136,7 +181,10 @@ def run_tiled(kernel: str, inputs: Dict[str, np.ndarray], length: int, *,
         Root seed for the per-tile ``SeedSequence`` spawn.
     engine_kwargs:
         Extra :class:`InMemorySCEngine` constructor arguments (fault rates,
-        fault domain, cell model, ...) applied to every tile engine.
+        fault domain, fault sampling, cell model, ...) applied to every
+        tile engine.  Validated up front in the parent process — an
+        unknown key or invalid value raises a :class:`ValueError` naming
+        it, instead of an opaque pickled ``TypeError`` from a worker.
     kernel_kwargs:
         Extra keyword arguments forwarded to the kernel itself (e.g.
         ``gamma``/``degree`` for 'gamma_correct', ``lo``/``hi`` for
@@ -159,6 +207,7 @@ def run_tiled(kernel: str, inputs: Dict[str, np.ndarray], length: int, *,
     backend_name = get_backend().name
     engine_kwargs = dict(engine_kwargs or {})
     kernel_kwargs = dict(kernel_kwargs or {})
+    _validate_task_kwargs(kernel, list(inputs), engine_kwargs, kernel_kwargs)
 
     tasks = [
         (backend_name, kernel,

@@ -81,11 +81,12 @@ class AppResult:
 
 
 def _engine_kwargs(faulty: bool, fault_rates: Optional[GateFaultRates],
-                   fault_domain: str, cell_model: str) -> Dict[str, object]:
+                   fault_domain: str, fault_sampling: str,
+                   cell_model: str) -> Dict[str, object]:
     rates = (fault_rates if fault_rates is not None
              else DEFAULT_FAULT_RATES) if faulty else None
     return {"fault_rates": rates, "fault_domain": fault_domain,
-            "cell_model": cell_model}
+            "fault_sampling": fault_sampling, "cell_model": cell_model}
 
 
 def run_app(app: str, backend: str, length: int = 128,
@@ -97,6 +98,7 @@ def run_app(app: str, backend: str, length: int = 128,
             seed: Optional[int] = 0,
             jobs: int = 1, tile: Optional[int] = None,
             fault_domain: str = "word",
+            fault_sampling: str = "dense",
             cell_model: str = "per-bit") -> AppResult:
     """Execute one application on one backend and score it.
 
@@ -129,6 +131,12 @@ def run_app(app: str, backend: str, length: int = 128,
     fault_domain:
         'word' (default) or 'bit' — forwarded to the engine; 'bit' is the
         per-bit conformance oracle and produces bit-identical output.
+    fault_sampling:
+        'dense' (default) or 'sparse' — forwarded to the engine; 'dense'
+        is the bit-exact fault-mask oracle (reproducible per seed across
+        releases), 'sparse' draws Binomial flip counts and scatters the
+        sites into the packed payload — statistically conformant and much
+        faster for faulty sweeps (see :mod:`repro.imsc.engine`).
     cell_model:
         S-to-B device-variability model forwarded to the SC engine:
         'per-bit' (default — bit-reproducible against earlier releases) or
@@ -150,7 +158,8 @@ def run_app(app: str, backend: str, length: int = 128,
         raise ValueError("jobs > 1 requires a tile size (tile=None runs "
                          "the whole image in-process)")
     scene_rng = np.random.default_rng(seed)
-    kwargs = _engine_kwargs(faulty, fault_rates, fault_domain, cell_model)
+    kwargs = _engine_kwargs(faulty, fault_rates, fault_domain,
+                            fault_sampling, cell_model)
 
     def sc_run(kernel: str, inputs: Dict[str, np.ndarray],
                whole_image) -> Tuple[np.ndarray, EnergyLedger]:

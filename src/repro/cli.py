@@ -21,6 +21,10 @@ seeds; output is independent of N — see :mod:`repro.apps.executor`) and
 ``per-bit`` is the historical per-cell sampling oracle, ``column`` the
 batched popcount readout with cached per-column conductance draws
 (statistically equivalent, much faster — see :mod:`repro.imsc.stob`).
+``--fault-sampling {dense,sparse}`` picks the fault-mask model for the
+faulty SC rows: ``dense`` is the bit-exact Bernoulli oracle, ``sparse``
+the statistically conformant Binomial scatter fast path (see
+:mod:`repro.imsc.engine`).
 
 Prints ASCII renderings of the paper's tables/figures using the same
 experiment runners the benchmark suite drives.
@@ -75,7 +79,8 @@ def _print_table3(args) -> None:
 def _print_table4(args) -> None:
     result = ex.table4_quality(runs=args.runs, size=args.size,
                                seed=args.seed, jobs=args.jobs,
-                               tile=args.tile, cell_model=args.cell_model)
+                               tile=args.tile, cell_model=args.cell_model,
+                               fault_sampling=args.fault_sampling)
     apps = ("compositing", "interpolation", "matting")
     rows = [[label] + [f"{v[a][0]:.1f}/{v[a][1]:.1f}" for a in apps]
             for label, v in result.items()]
@@ -144,6 +149,14 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "conformance oracle), 'column' is the batched "
                              "popcount readout with cached per-column "
                              "conductance draws")
+    parser.add_argument("--fault-sampling", choices=["dense", "sparse"],
+                        default="dense", dest="fault_sampling",
+                        help="fault-mask sampling for faulty SC runs "
+                             "(table4): 'dense' is the bit-exact per-site "
+                             "Bernoulli oracle, 'sparse' draws Binomial "
+                             "flip counts and scatters the sites into the "
+                             "packed payload (statistically conformant, "
+                             "much faster at the paper's gate rates)")
     parser.add_argument("--backend", choices=available_backends(),
                         default=None,
                         help="bit-stream execution backend (overrides the "

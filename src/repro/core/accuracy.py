@@ -10,16 +10,19 @@ a modest memory budget.
 
 Sharded execution (``jobs``)
 ----------------------------
-:func:`op_mse` can fan its Monte-Carlo chunks over the tile executor's
-process pool (:func:`repro.apps.executor.pool_map`).  Because the classic
-path threads one stateful generator through the chunks sequentially, the
-sharded path instead gives every chunk a deterministic child of
-``SeedSequence(seed)`` and builds a *fresh* generator from a caller-supplied
-picklable factory — pass a callable ``factory(seed_sequence) -> sng`` as
-the ``sng`` argument.  Chunk results are reduced in chunk order, so
-``op_mse(..., jobs=1)`` and ``op_mse(..., jobs=N)`` are bit-identical (the
-regression suite asserts this); both differ from the legacy shared-object
-path, which remains untouched for the pinned Table I/II values.
+:func:`op_mse` and :func:`sng_mse` can fan their Monte-Carlo chunks over
+the tile executor's process pool (:func:`repro.apps.executor.pool_map`).
+Because the classic path threads one stateful generator through the chunks
+sequentially, the sharded path instead gives every chunk a deterministic
+child of ``SeedSequence(seed)`` and builds a *fresh* generator from a
+caller-supplied picklable factory — pass a callable
+``factory(seed_sequence) -> sng`` as the ``sng`` argument
+(:class:`repro.imsc.engine.EngineFactory` wraps the in-memory engine this
+way, so faulty sweeps — including ``fault_sampling='sparse'`` — shard
+too).  Chunk results are reduced in chunk order, so ``jobs=1`` and
+``jobs=N`` are bit-identical (the regression suite asserts this); both
+differ from the legacy shared-object path, which remains untouched for the
+pinned Table I/II values.
 """
 
 from __future__ import annotations
@@ -44,23 +47,66 @@ __all__ = [
 SngLike = object  # duck-typed: .generate / .generate_pair
 
 
+def _sng_chunk_sq_err(sng, gen: np.random.Generator, n: int,
+                      length: int) -> float:
+    """Sum of squared generation errors over one operand chunk."""
+    x = gen.random(n)
+    streams = sng.generate(x, length)
+    err = streams.value() - x
+    return float(np.sum(err * err))
+
+
+def _sng_mse_chunk(task) -> float:
+    """Worker for the sharded path: one chunk, fresh deterministic state."""
+    backend_name, factory, length, n, child = task
+    set_backend(backend_name)
+    operand_seed, sng_seed = child.spawn(2)
+    gen = np.random.default_rng(operand_seed)
+    sng = factory(sng_seed)
+    return _sng_chunk_sq_err(sng, gen, n, length)
+
+
+def _sng_mse_sharded(factory, length: int, samples: int,
+                     seed: Optional[int], chunk: int, jobs: int) -> float:
+    n_chunks = ceil(samples / chunk)
+    children = np.random.SeedSequence(seed).spawn(n_chunks)
+    sizes = [min(chunk, samples - i * chunk) for i in range(n_chunks)]
+    backend_name = get_backend().name
+    tasks = [(backend_name, factory, length, n, child)
+             for n, child in zip(sizes, children)]
+    from ..apps.executor import pool_map  # deferred: core must not need apps
+    totals = pool_map(_sng_mse_chunk, tasks, jobs)
+    return float(sum(totals)) / samples * 100.0
+
+
 def sng_mse(sng, length: int, samples: int = 100_000,
-            seed: Optional[int] = 0, chunk: int = 8192) -> float:
+            seed: Optional[int] = 0, chunk: int = 8192,
+            jobs: int = 1) -> float:
     """MSE(%) of bit-stream generation for a given SNG (Table I cell).
 
     Draws ``samples`` operand values uniformly from ``[0, 1]``, generates one
     stream of ``length`` bits per value, recovers the value by popcount and
     returns ``mean((recovered - exact)^2) * 100``.
+
+    Like :func:`op_mse`, ``sng`` may be a picklable factory callable
+    ``factory(seed_sequence) -> sng`` instead of a generator object, in
+    which case the chunks get deterministic per-chunk ``SeedSequence``
+    children and may fan out over ``jobs`` worker processes; the result is
+    independent of ``jobs`` (but differs from the legacy shared-object
+    path, which stays untouched for the pinned Table I values).
     """
+    if callable(sng) and not hasattr(sng, "generate"):
+        return _sng_mse_sharded(sng, length, samples, seed, chunk, jobs)
+    if jobs != 1:
+        raise ValueError("sng_mse(jobs=N) requires an sng *factory* "
+                         "(callable(seed_sequence) -> sng); a shared sng "
+                         "object cannot be sharded deterministically")
     gen = np.random.default_rng(seed)
     total = 0.0
     done = 0
     while done < samples:
         n = min(chunk, samples - done)
-        x = gen.random(n)
-        streams = sng.generate(x, length)
-        err = streams.value() - x
-        total += float(np.sum(err * err))
+        total += _sng_chunk_sq_err(sng, gen, n, length)
         done += n
     return total / samples * 100.0
 

@@ -156,6 +156,24 @@ class ExecutionBackend:
         """Popcount-based value estimate ``popcount / N`` per stream."""
         return self.popcount(data, length) / float(length)
 
+    # -- sparse fault injection ----------------------------------------
+    def scatter_flip(self, data: np.ndarray, flat_sites: np.ndarray,
+                     length: int) -> np.ndarray:
+        """XOR-flip individual bits addressed by flat bit-domain indices.
+
+        ``flat_sites`` indexes the C-order bit-domain view ``batch_shape +
+        (length,)`` of the payload; duplicate indices cancel pairwise (XOR
+        semantics).  This is the primitive behind sparse fault-mask
+        sampling: a handful of flip sites touch a handful of storage
+        units instead of materialising a full-size Bernoulli mask.
+        Returns a new payload; ``data`` is never mutated.  The generic
+        default round-trips through the bit domain — backends override it
+        to scatter directly into their native layout.
+        """
+        bits = np.array(self.unpack(data, length), dtype=np.uint8, copy=True)
+        np.bitwise_xor.at(bits.reshape(-1), flat_sites, np.uint8(1))
+        return self.pack(bits)
+
     # -- structural ops (generic defaults via unpack/pack) -------------
     def roll(self, data: np.ndarray, shift: int, length: int) -> np.ndarray:
         return self.pack(np.roll(self.unpack(data, length), shift, axis=-1))
@@ -215,6 +233,13 @@ class UnpackedBackend(ExecutionBackend):
 
     def popcount(self, data, length):
         return data.sum(axis=-1, dtype=np.int64)
+
+    def scatter_flip(self, data, flat_sites, length):
+        # The payload *is* the bit array, so bit-domain flat indices are
+        # payload flat indices.
+        out = np.array(data, dtype=np.uint8, copy=True)
+        np.bitwise_xor.at(out.reshape(-1), flat_sites, np.uint8(1))
+        return out
 
     def roll(self, data, shift, length):
         return np.roll(data, shift, axis=-1)
@@ -319,6 +344,22 @@ class PackedBackend(ExecutionBackend):
 
     def popcount(self, data, length):
         return _word_popcount(data)
+
+    def scatter_flip(self, data, flat_sites, length):
+        # Bit-index -> byte shifts against the memory-order uint8 view of
+        # the word payload: packbits stores stream byte k at memory
+        # position k, so viewing the uint64 words as bytes recovers the
+        # packbits layout regardless of host endianness.  Flip sites are
+        # always < length, so the canonical zero tail is preserved.
+        out = np.array(data, dtype=np.uint64, copy=True)
+        idx = np.asarray(flat_sites, dtype=np.int64)
+        row, bit = np.divmod(idx, length)
+        byte_in_stream = bit >> 3
+        masks = (np.uint8(0x80) >> (bit & 7).astype(np.uint8))
+        stream_bytes = out.shape[-1] * _WORD_BYTES
+        np.bitwise_xor.at(out.view(np.uint8).reshape(-1),
+                          row * stream_bytes + byte_in_stream, masks)
+        return out
 
 
 # ----------------------------------------------------------------------

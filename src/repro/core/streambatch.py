@@ -280,6 +280,29 @@ class StreamBatch:
         """
         return self ^ StreamBatch.from_bool(mask, self.backend)
 
+    def flip_at(self, flat_sites: np.ndarray) -> "StreamBatch":
+        """XOR-flip individual bits addressed by flat bit-domain indices.
+
+        ``flat_sites`` indexes the C-order bit view ``batch_shape +
+        (length,)`` (site ``i`` is bit ``i % length`` of batch element
+        ``i // length``).  Duplicate sites cancel pairwise — XOR semantics,
+        matching :meth:`flip` of a mask with those bits set.  This is the
+        sparse fault path: the engine draws the flip *count* from a
+        Binomial and scatters that many sites straight into the payload,
+        instead of materialising a full ``shape``-sized Bernoulli mask.
+        """
+        sites = np.asarray(flat_sites, dtype=np.int64).reshape(-1)
+        if sites.size == 0:
+            return self
+        n_sites = int(np.prod(self.shape))
+        if sites.min() < 0 or sites.max() >= n_sites:
+            raise IndexError(
+                f"flip sites must lie in [0, {n_sites}) for shape "
+                f"{self.shape}")
+        return StreamBatch(
+            self.backend.scatter_flip(self.data, sites, self.length),
+            self.length, self.backend)
+
     # ------------------------------------------------------------------
     # Readout
     # ------------------------------------------------------------------

@@ -10,7 +10,7 @@ from .cost import (
     sc_op_cost,
     stob_cost,
 )
-from .engine import InMemorySCEngine
+from .engine import EngineFactory, InMemorySCEngine
 from .mapping import MatMapping, ScProgram, Statement, map_program
 
 __all__ = [
@@ -19,6 +19,6 @@ __all__ = [
     "InMemoryStoB",
     "ReRamScDesign", "SC_OP_SENSE_STEPS",
     "imsng_conversion_cost", "sc_op_cost", "stob_cost",
-    "InMemorySCEngine",
+    "EngineFactory", "InMemorySCEngine",
     "MatMapping", "ScProgram", "Statement", "map_program",
 ]

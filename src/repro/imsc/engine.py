@@ -49,6 +49,31 @@ batched pipelines read out without a ``Bitstream`` round-trip.
   benchmark baseline): for the same seed it is bit-identical to ``'word'``
   under every backend, which ``tests/test_backend_equivalence.py`` asserts.
 
+``fault_sampling`` selects how fault masks are *sampled*:
+
+* ``'dense'`` (default) — every flip site draws one full ``shape``-sized
+  uniform array per sensing step (one Bernoulli trial per bit).  This is
+  the bit-exact oracle: for a given seed its output is reproducible across
+  releases and identical between ``fault_domain='word'`` and ``'bit'``.
+* ``'sparse'`` — each flip site draws its flip *count* from
+  ``Binomial(n_sites, p)`` and scatters that many uniformly chosen site
+  indices straight into the payload (:meth:`StreamBatch.flip_at` — bit
+  index → (word, bit) shifts, no full-size uniform array, no unpack).
+  The per-site flip probability and the mean/variance of the flip count
+  are exactly those of the dense Bernoulli model, so faulty statistics
+  (per-gate flip rates, faulty-app MSE) conform within Monte-Carlo noise —
+  but the RNG draw sequence differs, so sparse runs are *statistically*
+  rather than bit-wise comparable to dense runs.  At the paper's per-gate
+  rates (~1e-3) this removes virtually all fault-model memory traffic;
+  ``benchmarks/bench_faults.py`` guards the speedup.  Sparse sampling
+  requires ``fault_domain='word'`` (the per-bit oracle is dense by
+  definition).
+
+The CORDIV/JK read flips follow the same axis: dense word-domain division
+draws its two read masks per stream position (latch order, RNG-identical
+to the oracle), sparse division draws one Binomial per operand stream and
+scatters the read upsets directly into the packed payload.
+
 RNG draw order is part of the engine's contract — two engines built with
 the same seed produce bit-identical streams regardless of backend or fault
 domain.  Specifically: TRNG planes are drawn before any fault mask; each
@@ -77,7 +102,7 @@ from ..reram.faults import GateFaultRates
 from .cost import imsng_conversion_cost, sc_op_cost, stob_cost
 from .stob import InMemoryStoB
 
-__all__ = ["InMemorySCEngine"]
+__all__ = ["InMemorySCEngine", "EngineFactory"]
 
 _OP_GATES = {
     "multiplication": "and",
@@ -111,6 +136,13 @@ class InMemorySCEngine:
         'word' (default) applies fault masks in the backend's word layout;
         'bit' is the per-bit conformance oracle (see module docs).  Both are
         bit-identical for the same seed.
+    fault_sampling:
+        'dense' (default) draws one Bernoulli trial per bit per sensing
+        step — the bit-exact oracle; 'sparse' draws the flip count from
+        ``Binomial(n_sites, p)`` and scatters the sites directly into the
+        payload — statistically conformant (same flip-rate mean/variance)
+        and much faster at the paper's low gate rates, but not
+        bit-reproducible against 'dense'.  Requires ``fault_domain='word'``.
     cell_model:
         S-to-B device-variability model: 'per-bit' (default, the oracle —
         bit-reproducible against earlier releases) or 'column' (batched
@@ -125,11 +157,18 @@ class InMemorySCEngine:
                  ideal_stob: bool = False,
                  rng: Union[np.random.Generator, int, None] = None,
                  fault_domain: str = "word",
+                 fault_sampling: str = "dense",
                  cell_model: str = "per-bit"):
         if mode not in ("naive", "opt"):
             raise ValueError("mode must be 'naive' or 'opt'")
         if fault_domain not in ("word", "bit"):
             raise ValueError("fault_domain must be 'word' or 'bit'")
+        if fault_sampling not in ("dense", "sparse"):
+            raise ValueError("fault_sampling must be 'dense' or 'sparse'")
+        if fault_sampling == "sparse" and fault_domain == "bit":
+            raise ValueError("fault_sampling='sparse' requires "
+                             "fault_domain='word' (the per-bit oracle is "
+                             "dense by definition)")
         self.segment_bits = segment_bits
         self.mode = mode
         self.fault_rates = fault_rates
@@ -139,6 +178,7 @@ class InMemorySCEngine:
         self.costs = costs
         self.ideal_stob = ideal_stob
         self.fault_domain = fault_domain
+        self.fault_sampling = fault_sampling
         self.cell_model = cell_model
         self._gen = (rng if isinstance(rng, np.random.Generator)
                      else np.random.default_rng(rng))
@@ -163,11 +203,51 @@ class InMemorySCEngine:
         return bits ^ mask
 
     def _flip_batch(self, sb: StreamBatch, gate: str) -> StreamBatch:
-        """Word-domain flip: same RNG draw as :meth:`_flip`, packed once."""
+        """Word-domain flip: dense masks draw the oracle's full-shape
+        uniform array; sparse sampling scatters a Binomial flip count."""
         p = self._rate(gate)
         if p <= 0.0:
             return sb
+        if self.fault_sampling == "sparse":
+            return self._flip_sparse(sb, p)
         return sb.flip(self._gen.random(sb.shape) < p)
+
+    def _flip_sparse(self, sb: StreamBatch, p: float) -> StreamBatch:
+        """Sparse flip: Binomial count + uniformly chosen distinct sites.
+
+        Statistically identical to per-site Bernoulli flips (the site count
+        is Binomial(n, p) and sites form a uniform random subset, so the
+        per-site flip probability is exactly ``p`` and the count variance
+        exactly ``n p (1-p)``), but the cost scales with the *expected
+        number of flips* instead of the number of sites.
+        """
+        n_sites = int(np.prod(sb.shape))
+        k = int(self._gen.binomial(n_sites, p))
+        if k == 0:
+            return sb
+        return sb.flip_at(self._flip_sites(n_sites, k))
+
+    @staticmethod
+    def _dedupe(sites: np.ndarray) -> np.ndarray:
+        # Not np.unique: numpy >= 2.3 routes integer unique through a
+        # hash table that measures ~14x slower than sort-and-mask at the
+        # tens-of-thousands-of-sites scale the sparse sampler draws (it
+        # dominated the first sparse profile).
+        sites = np.sort(sites)
+        return sites[np.concatenate(([True], sites[1:] != sites[:-1]))]
+
+    def _flip_sites(self, n_sites: int, k: int) -> np.ndarray:
+        """A uniformly random k-subset of sites by rejection of duplicates.
+
+        At sparse-regime rates duplicates are vanishingly rare (expected
+        collisions ~ k^2 / n), so this almost always costs one draw of k
+        integers — never an O(n) permutation.
+        """
+        sites = self._dedupe(self._gen.integers(0, n_sites, size=k))
+        while sites.size < k:
+            extra = self._gen.integers(0, n_sites, size=k - sites.size)
+            sites = self._dedupe(np.concatenate([sites, extra]))
+        return sites
 
     # ------------------------------------------------------------------
     # TRNG bit-planes
@@ -416,9 +496,12 @@ class InMemorySCEngine:
     def divide(self, x: Bitstream, y: Bitstream) -> Bitstream:
         """CORDIV on the peripheral latches, one faulty step per bit.
 
-        The faulty path samples its two read masks per stream position
-        (``x_i`` then ``y_i``) — the latch-by-latch sensing order — so the
-        word-domain scan consumes the RNG exactly like the per-bit oracle.
+        The dense faulty path samples its two read masks per stream
+        position (``x_i`` then ``y_i``) — the latch-by-latch sensing order —
+        so the word-domain scan consumes the RNG exactly like the per-bit
+        oracle.  Under ``fault_sampling='sparse'`` each operand instead
+        draws one Binomial flip count and scatters the read upsets straight
+        into the packed payload.
         """
         p_read = self._rate("read")
         if self.fault_domain == "bit":
@@ -435,17 +518,54 @@ class InMemorySCEngine:
             result = Bitstream(out, backend=x.backend)
         else:
             if p_read > 0.0:
-                bshape = x.batch_shape
-                mx = np.empty(bshape + (x.length,), dtype=bool)
-                my = np.empty(bshape + (x.length,), dtype=bool)
-                for i in range(x.length):
-                    mx[..., i] = self._gen.random(bshape) < p_read
-                    my[..., i] = self._gen.random(bshape) < p_read
-                x = StreamBatch.from_bitstream(x).flip(mx).to_bitstream()
-                y = StreamBatch.from_bitstream(y).flip(my).to_bitstream()
+                x, y = self._read_flip_pair(x, y, p_read)
             result = scops.div_cordiv(x, y)
         self._book_op("division", x.length, self._unary_batch(x))
         return result
+
+    def divide_jk(self, j: Bitstream, k: Bitstream) -> Bitstream:
+        """JK-flip-flop division ``j / (j + k)`` with per-cycle read faults.
+
+        Same fault model as :meth:`divide`: every latch cycle reads the two
+        input bits through the (faulty) sensing path, then clocks the ideal
+        flip-flop.  The dense word path draws masks in the oracle's
+        ``j_i``-then-``k_i`` order (bit-identical per seed); the sparse
+        path scatters Binomial read upsets into the payloads.
+        """
+        p_read = self._rate("read")
+        if self.fault_domain == "bit":
+            jb, kb = j.bits, k.bits
+            out = np.empty_like(jb)
+            state = np.zeros(jb.shape[:-1], dtype=np.uint8)
+            for i in range(j.length):
+                ji = self._flip(jb[..., i], "read")
+                ki = self._flip(kb[..., i], "read")
+                state = (ji & (1 - state)) | ((1 - ki) & state)
+                out[..., i] = state
+            result = Bitstream(out, backend=j.backend)
+        else:
+            if p_read > 0.0:
+                j, k = self._read_flip_pair(j, k, p_read)
+            result = scops.div_jk(j, k)
+        self._book_op("division", j.length, self._unary_batch(j))
+        return result
+
+    def _read_flip_pair(self, x: Bitstream, y: Bitstream,
+                        p_read: float) -> Tuple[Bitstream, Bitstream]:
+        """Apply the sequential dividers' per-cycle read flips in the word
+        domain, honouring the configured sampling mode."""
+        sx = StreamBatch.from_bitstream(x)
+        sy = StreamBatch.from_bitstream(y)
+        if self.fault_sampling == "sparse":
+            return (self._flip_sparse(sx, p_read).to_bitstream(),
+                    self._flip_sparse(sy, p_read).to_bitstream())
+        bshape = x.batch_shape
+        mx = np.empty(bshape + (x.length,), dtype=bool)
+        my = np.empty(bshape + (x.length,), dtype=bool)
+        for i in range(x.length):
+            mx[..., i] = self._gen.random(bshape) < p_read
+            my[..., i] = self._gen.random(bshape) < p_read
+        return sx.flip(mx).to_bitstream(), sy.flip(my).to_bitstream()
 
     def maj(self, x: Bitstream, y: Bitstream, z: Bitstream) -> Bitstream:
         if self.fault_rates is None:
@@ -520,3 +640,34 @@ class InMemorySCEngine:
 
     def reset_ledger(self) -> None:
         self.ledger = EnergyLedger()
+
+
+class EngineFactory:
+    """Picklable per-chunk engine factory for the sharded accuracy harness.
+
+    The Monte-Carlo harness (:func:`repro.core.accuracy.op_mse` /
+    :func:`~repro.core.accuracy.sng_mse` with ``jobs=N``) shards its chunks
+    over worker processes and hands each chunk a deterministic
+    ``SeedSequence`` child; this wrapper turns engine constructor arguments
+    into the ``factory(seed_sequence) -> sng`` callable those paths expect,
+    so faulty Table-I/II style sweeps can opt into any engine axis —
+    including ``fault_sampling='sparse'`` — without a bespoke closure
+    (closures don't pickle)::
+
+        op_mse("multiplication",
+               EngineFactory(fault_rates=DEFAULT_FAULT_RATES,
+                             fault_sampling="sparse"),
+               length=256, jobs=8)
+    """
+
+    def __init__(self, **engine_kwargs):
+        if "rng" in engine_kwargs:
+            raise ValueError("EngineFactory derives each chunk engine's rng "
+                             "from the harness's SeedSequence; do not pass "
+                             "'rng'")
+        InMemorySCEngine(**engine_kwargs)  # validate eagerly, in the parent
+        self.engine_kwargs = engine_kwargs
+
+    def __call__(self, seed_seq: np.random.SeedSequence) -> InMemorySCEngine:
+        return InMemorySCEngine(rng=np.random.default_rng(seed_seq),
+                                **self.engine_kwargs)

@@ -93,6 +93,48 @@ class TestOpMseSharded:
                    samples=100, jobs=2)
 
 
+class TestSngMseSharded:
+    def test_jobs_do_not_change_result(self):
+        # Same determinism contract as sharded op_mse: per-chunk
+        # SeedSequence children make the MSE a pure function of
+        # (seed, chunk), independent of the worker count.
+        base = sng_mse(_sng_factory, 64, samples=2_000, seed=12, chunk=512,
+                       jobs=1)
+        fan = sng_mse(_sng_factory, 64, samples=2_000, seed=12, chunk=512,
+                      jobs=3)
+        assert fan == base
+
+    def test_sharded_matches_expected_magnitude(self):
+        # Binomial variance averaged over uniform p: 100 / (6 N).
+        got = sng_mse(_sng_factory, 128, samples=10_000, seed=13,
+                      chunk=2048, jobs=2)
+        assert got == pytest.approx(100.0 / (6 * 128), rel=0.2)
+
+    def test_uneven_tail_chunk_counted_once(self):
+        a = sng_mse(_sng_factory, 32, samples=1_000, seed=14, chunk=384,
+                    jobs=1)
+        b = sng_mse(_sng_factory, 32, samples=1_000, seed=14, chunk=384,
+                    jobs=2)
+        assert a == b and 0.0 < a < 5.0
+
+    def test_shared_sng_rejects_jobs(self):
+        sng = ComparatorSng(SoftwareRng(8, seed=0))
+        with pytest.raises(ValueError, match="factory"):
+            sng_mse(sng, 64, samples=100, jobs=2)
+
+    def test_engine_factory_shards_faulty_sweeps(self):
+        # EngineFactory threads any engine axis (here: sparse fault
+        # sampling) through the sharded Monte-Carlo harness.
+        from repro.imsc.engine import EngineFactory
+        from repro.reram.faults import DEFAULT_FAULT_RATES
+
+        factory = EngineFactory(fault_rates=DEFAULT_FAULT_RATES,
+                                fault_sampling="sparse", ideal_stob=True)
+        base = sng_mse(factory, 64, samples=600, seed=15, chunk=256, jobs=1)
+        fan = sng_mse(factory, 64, samples=600, seed=15, chunk=256, jobs=2)
+        assert fan == base and 0.0 < base < 5.0
+
+
 class TestScFlow:
     def test_multiplication_flow(self):
         flow = ScFlow(lambda s: ops.mul_and(s["a"], s["b"]),
