@@ -1,0 +1,137 @@
+"""Serving-layer amortisation: resident worker pool vs per-request pools.
+
+Workload: ``M`` back-to-back small-tile requests — the request-serving
+shape the serve subsystem exists for — executed three ways:
+
+* ``cold``     — a fresh ``run_tiled(jobs=N)`` per request: every request
+  pays worker-pool startup, the pre-serving behaviour.
+* ``resident`` — the same ``run_tiled`` calls over one long-lived
+  :class:`repro.serve.WorkerPool` (``pool=``): startup is paid once.
+* ``served``   — all requests in flight at once through
+  :class:`repro.serve.ServingClient`, tiles interleaved fair round-robin
+  on the shared workers.
+
+All three paths are asserted bit-identical per request before timing is
+reported.  The acceptance guard requires the resident pool to beat the
+cold path by ``--min-speedup`` (default 1.5x) — pool-startup amortisation
+is the whole point of the serving layer.
+
+Run standalone (e.g. the Makefile smoke/acceptance targets)::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py
+    PYTHONPATH=src python benchmarks/bench_serve.py --requests 4 --size 12
+"""
+
+import argparse
+import time
+
+import numpy as np
+
+from repro.apps.executor import run_tiled
+from repro.apps.filters import gamma_correct_inputs
+from repro.apps.images import natural_scene
+from repro.core.backend import use_backend
+from repro.serve import ServingClient, WorkerPool, default_mp_context
+
+FULL_SIZE = 16
+FULL_TILE = 4
+FULL_LENGTH = 64
+FULL_REQUESTS = 8
+MIN_SPEEDUP = 1.5
+
+
+def compare_serving(size: int = FULL_SIZE, tile: int = FULL_TILE,
+                    length: int = FULL_LENGTH, requests: int = FULL_REQUESTS,
+                    jobs: int = 4, backend: str = "packed",
+                    seed: int = 0) -> dict:
+    """Wall-clock of the three execution shapes plus speedups vs ``cold``."""
+    with use_backend(backend):
+        image = natural_scene(size, size, np.random.default_rng(seed))
+        inputs = gamma_correct_inputs(image)
+        kwargs = dict(tile=tile, kernel_kwargs={"gamma": 0.5},
+                      engine_kwargs={"cell_model": "column"})
+
+        t0 = time.perf_counter()
+        cold = [run_tiled("gamma_correct", inputs, length, jobs=jobs,
+                          seed=seed + m, **kwargs)[0]
+                for m in range(requests)]
+        t_cold = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        with WorkerPool(jobs) as pool:
+            resident = [run_tiled("gamma_correct", inputs, length,
+                                  seed=seed + m, pool=pool, **kwargs)[0]
+                        for m in range(requests)]
+        t_resident = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        # same start method as the cold/resident shapes (the client's own
+        # default is forkserver) so only pool residency varies
+        with ServingClient(jobs=jobs,
+                           mp_context=default_mp_context()) as client:
+            futures = [client.submit("gamma_correct", inputs, length,
+                                     seed=seed + m, **kwargs)
+                       for m in range(requests)]
+            served = [f.result()[0] for f in futures]
+        t_served = time.perf_counter() - t0
+
+    # Determinism sanity: all three shapes must agree bit for bit.
+    for m in range(requests):
+        np.testing.assert_array_equal(cold[m], resident[m])
+        np.testing.assert_array_equal(cold[m], served[m])
+
+    seconds = {"cold": t_cold, "resident": t_resident, "served": t_served}
+    return {
+        "size": size, "tile": tile, "length": length,
+        "requests": requests, "jobs": jobs, "backend": backend,
+        "seconds": seconds,
+        "speedup": {k: t_cold / v for k, v in seconds.items()},
+    }
+
+
+def render(result: dict) -> str:
+    lines = [
+        f"{result['requests']} back-to-back requests, "
+        f"scene {result['size']}x{result['size']}, tile={result['tile']}, "
+        f"N={result['length']}, jobs={result['jobs']}, "
+        f"backend={result['backend']} (outputs asserted bit-identical)",
+    ]
+    for name in ("cold", "resident", "served"):
+        lines.append(f"  {name:>9}: {result['seconds'][name] * 1e3:8.1f} ms"
+                     f"  ({result['speedup'][name]:4.2f}x vs cold)")
+    return "\n".join(lines)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--size", type=int, default=FULL_SIZE,
+                        help="scene edge length in pixels")
+    parser.add_argument("--tile", type=int, default=FULL_TILE,
+                        help="tile edge length")
+    parser.add_argument("--length", type=int, default=FULL_LENGTH,
+                        help="stream length N in bits")
+    parser.add_argument("--requests", type=int, default=FULL_REQUESTS,
+                        help="number of back-to-back requests")
+    parser.add_argument("--jobs", type=int, default=4,
+                        help="worker processes / pool capacity (a serving "
+                             "pool is multi-worker by definition; jobs=1 "
+                             "would be the in-process path, which never "
+                             "creates a pool to amortise)")
+    parser.add_argument("--backend", default="packed",
+                        help="execution backend for the requests")
+    parser.add_argument("--min-speedup", type=float, default=MIN_SPEEDUP,
+                        help="required resident-vs-cold speedup")
+    args = parser.parse_args()
+    result = compare_serving(args.size, args.tile, args.length,
+                             args.requests, args.jobs, args.backend)
+    print(render(result))
+    if result["speedup"]["resident"] < args.min_speedup:
+        print(f"FAIL: resident-pool speedup "
+              f"{result['speedup']['resident']:.2f}x "
+              f"< required {args.min_speedup:.2f}x")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

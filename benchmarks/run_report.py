@@ -1,0 +1,132 @@
+"""Reproduction-report driver behind ``make bench``.
+
+``make bench`` used to run ``pytest benchmarks/ --benchmark-only``, but the
+benchmark modules are named ``bench_*.py`` — outside pytest's default
+``test_*.py`` collection pattern — so pytest collected nothing, exited 5
+("no tests ran") and never produced the report.  This driver invokes the
+pieces directly:
+
+1. ``python -m repro all`` — ASCII renderings of every table/figure;
+2. each standalone benchmark script at acceptance scale (their built-in
+   speedup guards make this double as the performance acceptance run).
+
+Everything is streamed to stdout and appended to
+``reproduction_report.txt`` at the repo root; the exit code is non-zero
+if any step fails.  ``--quick`` shrinks every workload to smoke size
+(seconds, guards relaxed) for CI-style sanity runs; full scale is the
+default.  The pytest-benchmark variants of the table/figure benchmarks
+remain runnable via ``pytest benchmarks/ --benchmark-only -s``
+(``benchmarks/pytest.ini`` restores their collection).
+"""
+
+import argparse
+import os
+import pathlib
+import subprocess
+import sys
+import time
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+BENCH = ROOT / "benchmarks"
+REPORT = ROOT / "reproduction_report.txt"
+
+
+def _steps(quick: bool):
+    py = sys.executable
+    if quick:
+        # Same six steps as the full run, shrunk to smoke size (flags
+        # mirror make bench-smoke / serve-smoke) — quick mode trades
+        # guard strength for speed, never coverage.
+        return [
+            ("Tables and figures (quick reproduction)",
+             [py, "-m", "repro", "all", "--samples", "1000", "--runs", "1",
+              "--size", "24"]),
+            ("Backend word chain (smoke)",
+             [py, str(BENCH / "bench_backend.py"), "--length", "131072",
+              "--batch", "128", "--repeats", "2"]),
+            ("Analog S-to-B conversion (smoke)",
+             [py, str(BENCH / "bench_stob.py"), "--streams", "8192",
+              "--length", "256", "--repeats", "2"]),
+            ("Application pipelines (smoke)",
+             [py, str(BENCH / "bench_apps.py"), "--length", "64",
+              "--size", "24", "--tile", "12", "--jobs", "2",
+              "--repeats", "1", "--apps", "matting"]),
+            ("Fault-mask sampling (smoke)",
+             [py, str(BENCH / "bench_faults.py"), "--length", "64",
+              "--size", "16", "--repeats", "1", "--min-speedup", "2"]),
+            ("Serving layer (smoke)",
+             [py, str(BENCH / "bench_serve.py"), "--requests", "4",
+              "--size", "12", "--length", "32", "--jobs", "2",
+              "--min-speedup", "0"]),
+        ]
+    return [
+        ("Tables and figures (CLI reproduction)",
+         [py, "-m", "repro", "all", "--samples", "5000", "--runs", "2",
+          "--size", "32"]),
+        ("Backend word chain (packed vs unpacked)",
+         [py, str(BENCH / "bench_backend.py")]),
+        ("Analog S-to-B conversion (column vs per-bit)",
+         [py, str(BENCH / "bench_stob.py")]),
+        ("Application pipelines (packed/sharded vs seed)",
+         [py, str(BENCH / "bench_apps.py")]),
+        ("Fault-mask sampling (sparse vs dense)",
+         [py, str(BENCH / "bench_faults.py")]),
+        ("Serving layer (resident pool vs cold)",
+         [py, str(BENCH / "bench_serve.py")]),
+    ]
+
+
+def _banner(title: str) -> str:
+    return "\n" + "=" * 72 + "\n" + title + "\n" + "=" * 72 + "\n"
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="smoke-size workloads (seconds, relaxed "
+                             "guards) instead of acceptance scale")
+    parser.add_argument("--fresh", action="store_true",
+                        help="truncate reproduction_report.txt first "
+                             "(default: append)")
+    args = parser.parse_args()
+
+    env = dict(os.environ)
+    src = str(ROOT / "src")
+    env["PYTHONPATH"] = (src + os.pathsep + env["PYTHONPATH"]
+                         if env.get("PYTHONPATH") else src)
+
+    if args.fresh:
+        REPORT.write_text("")
+    failures = []
+    for title, cmd in _steps(args.quick):
+        block = _banner(title)
+        print(block, end="", flush=True)
+        t0 = time.perf_counter()
+        # Stream line by line: full-scale steps run for minutes, and a
+        # silent terminal would be indistinguishable from a hang (the
+        # report also keeps whatever a Ctrl-C'd step printed so far).
+        with REPORT.open("a") as fh:
+            fh.write(block)
+            proc = subprocess.Popen(cmd, cwd=ROOT, env=env, text=True,
+                                    stdout=subprocess.PIPE,
+                                    stderr=subprocess.STDOUT)
+            for line in proc.stdout:
+                print(line, end="", flush=True)
+                fh.write(line)
+            rc = proc.wait()
+            elapsed = time.perf_counter() - t0
+            tail = f"\n[{'ok' if rc == 0 else 'FAIL'}"\
+                   f" rc={rc} in {elapsed:.1f}s]\n"
+            print(tail, end="")
+            fh.write(tail)
+        if rc != 0:
+            failures.append(title)
+    if failures:
+        print(f"\n{len(failures)} step(s) failed: {', '.join(failures)}")
+        return 1
+    print(f"\nreport written to {REPORT}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

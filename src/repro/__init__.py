@@ -17,6 +17,9 @@ A full Python reproduction of the paper's system:
   arithmetic with fault injection);
 * :mod:`repro.apps` — image compositing, bilinear interpolation and image
   matting on all backends, plus quality metrics;
+* :mod:`repro.serve` — async request-serving layer: resident worker pool,
+  fair round-robin tile scheduler, stdin/JSON service and client
+  (``python -m repro serve``);
 * :mod:`repro.analysis` — runners that regenerate every table and figure of
   the paper's evaluation.
 """

@@ -8,6 +8,7 @@ approach the paper's 10^6-sample / 1000-run settings.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -32,6 +33,7 @@ from ..reram.trng import ReRamTrng
 __all__ = [
     "TABLE1_LENGTHS",
     "TABLE4_LENGTHS",
+    "SngFactory",
     "table1_sng_mse",
     "table2_ops_mse",
     "table3_hw_cost",
@@ -56,42 +58,95 @@ APP_NAMES = ("compositing", "interpolation", "matting")
 # ---------------------------------------------------------------------------
 # Table I
 # ---------------------------------------------------------------------------
-def _sng_for(source: str, seed: int, segment_bits: int = 8):
-    if source == "imsng":
-        return SegmentSng(ReRamTrng(rng=seed), segment_bits=segment_bits)
-    if source == "software":
-        return ComparatorSng(SoftwareRng(8, seed=seed))
-    if source == "lfsr":
-        # Uncorrelated operands come from a second register at a different
-        # seed, the standard two-LFSR arrangement.
-        return ComparatorSng(Lfsr(seed=(seed % 254) + 1),
-                             pair_source=Lfsr(seed=((seed + 101) % 254) + 1))
-    if source == "sobol":
-        # Parallel Sobol dimensions for independent operands (Liu & Han).
-        return ComparatorSng(SobolRng(8, dim=0),
-                             pair_source=SobolRng(8, dim=1))
-    raise ValueError(f"unknown SNG source {source!r}")
+@contextmanager
+def _harness_pool(jobs: int):
+    """One resident worker pool for a whole table sweep (or ``None``).
+
+    A table is dozens of ``sng_mse``/``op_mse`` cells; sharing one
+    :class:`repro.serve.pool.WorkerPool` pays worker startup once instead
+    of once per cell.  ``jobs=1`` yields ``None`` — the harness then runs
+    chunks in-process, same bits.
+    """
+    if jobs <= 1:
+        yield None
+        return
+    from ..serve.pool import WorkerPool
+    with WorkerPool(jobs) as pool:
+        yield pool
+
+
+class SngFactory:
+    """Picklable per-chunk SNG factory for the sharded accuracy harness.
+
+    The Table I/II runners hand :func:`~repro.core.accuracy.sng_mse` /
+    :func:`~repro.core.accuracy.op_mse` a factory instead of a shared
+    generator object, so their Monte-Carlo chunks carry deterministic
+    ``SeedSequence``-derived state and can fan out over worker processes:
+    the measured MSE is a pure function of ``(seed, chunk)`` and
+    independent of ``jobs``.  All seed material (software generator state,
+    LFSR register seeds, Sobol digital-shift scrambles) derives from the
+    per-chunk child.
+    """
+
+    SOURCES = ("imsng", "software", "lfsr", "sobol")
+
+    def __init__(self, source: str, segment_bits: int = 8):
+        if source not in self.SOURCES:
+            raise ValueError(f"unknown SNG source {source!r}")
+        self.source = source
+        self.segment_bits = segment_bits
+
+    def __call__(self, seed_seq: np.random.SeedSequence):
+        if self.source == "imsng":
+            return SegmentSng(ReRamTrng(rng=np.random.default_rng(seed_seq)),
+                              segment_bits=self.segment_bits)
+        if self.source == "software":
+            return ComparatorSng(SoftwareRng(8, seed=seed_seq))
+        if self.source == "lfsr":
+            # Uncorrelated operands come from a second register at a
+            # different seed, the standard two-LFSR arrangement.
+            base = int(seed_seq.generate_state(1)[0]) % 254
+            return ComparatorSng(
+                Lfsr(seed=base + 1),
+                pair_source=Lfsr(seed=((base + 101) % 254) + 1))
+        # Sobol: parallel dimensions for independent operands (Liu & Han);
+        # a per-chunk digital-shift scramble decorrelates the repeated use
+        # of the same dimensions across chunks.
+        scramble = int(seed_seq.generate_state(1)[0])
+        return ComparatorSng(
+            SobolRng(8, dim=0, scramble_seed=scramble),
+            pair_source=SobolRng(8, dim=1, scramble_seed=scramble + 1))
 
 
 def table1_sng_mse(lengths: Sequence[int] = TABLE1_LENGTHS,
                    segment_sizes: Sequence[int] = (5, 6, 7, 8, 9),
                    samples: int = 20_000,
-                   seed: int = 0) -> Dict[str, Dict[int, float]]:
+                   seed: int = 0, jobs: int = 1
+                   ) -> Dict[str, Dict[int, float]]:
     """MSE(%) of SBS generation per RNG source and stream length (Table I).
 
     Rows: ``IMSNG M=5`` .. ``IMSNG M=9``, ``Software``, ``PRNG (LFSR)``,
-    ``QRNG (Sobol)``.  Columns: stream lengths.
+    ``QRNG (Sobol)``.  Columns: stream lengths.  ``jobs`` fans the
+    Monte-Carlo chunks over worker processes through the sharded harness
+    — one resident pool shared by every cell, not a pool per cell; every
+    cell is chunk-deterministic, so the table is independent of ``jobs``
+    (the regression suite asserts ``jobs=1 == jobs=N``).
     """
     out: Dict[str, Dict[int, float]] = {}
-    for m in segment_sizes:
-        sng = _sng_for("imsng", seed, m)
-        out[f"IMSNG M={m}"] = {
-            n: sng_mse(sng, n, samples, seed=seed + n) for n in lengths}
-    for label, source in (("Software", "software"), ("PRNG (LFSR)", "lfsr"),
-                          ("QRNG (Sobol)", "sobol")):
-        sng = _sng_for(source, seed)
-        out[label] = {n: sng_mse(sng, n, samples, seed=seed + n)
-                      for n in lengths}
+    with _harness_pool(jobs) as pool:
+        for m in segment_sizes:
+            factory = SngFactory("imsng", segment_bits=m)
+            out[f"IMSNG M={m}"] = {
+                n: sng_mse(factory, n, samples, seed=seed + n, jobs=jobs,
+                           pool=pool)
+                for n in lengths}
+        for label, source in (("Software", "software"),
+                              ("PRNG (LFSR)", "lfsr"),
+                              ("QRNG (Sobol)", "sobol")):
+            factory = SngFactory(source)
+            out[label] = {n: sng_mse(factory, n, samples, seed=seed + n,
+                                     jobs=jobs, pool=pool)
+                          for n in lengths}
     return out
 
 
@@ -103,19 +158,24 @@ def table2_ops_mse(lengths: Sequence[int] = TABLE1_LENGTHS,
                    sources: Sequence[str] = ("imsng", "software", "lfsr",
                                              "sobol"),
                    samples: int = 5_000,
-                   seed: int = 0) -> Dict[str, Dict[str, Dict[int, float]]]:
+                   seed: int = 0, jobs: int = 1
+                   ) -> Dict[str, Dict[str, Dict[int, float]]]:
     """MSE(%) of SC arithmetic per RNG source (Table II, M = 8).
 
-    Returns ``result[op][source][N]``.
+    Returns ``result[op][source][N]``.  ``jobs`` shards the Monte-Carlo
+    chunks exactly as in :func:`table1_sng_mse` (one resident pool for
+    the whole grid); the grid is independent of ``jobs``.
     """
     out: Dict[str, Dict[str, Dict[int, float]]] = {}
-    for op in ops:
-        out[op] = {}
-        for source in sources:
-            sng = _sng_for(source, seed)
-            out[op][source] = {
-                n: op_mse(op, sng, n, samples, seed=seed + n)
-                for n in lengths}
+    with _harness_pool(jobs) as pool:
+        for op in ops:
+            out[op] = {}
+            for source in sources:
+                factory = SngFactory(source)
+                out[op][source] = {
+                    n: op_mse(op, factory, n, samples, seed=seed + n,
+                              jobs=jobs, pool=pool)
+                    for n in lengths}
     return out
 
 

@@ -21,8 +21,24 @@ Determinism contract
 Workers receive only picklable primitives (arrays, the kernel name, engine
 kwargs, a child ``SeedSequence``) and re-select the execution backend by
 name, so the pool behaves identically under ``fork`` and ``spawn`` start
-methods.  The same :func:`pool_map` primitive backs the Monte-Carlo
-accuracy harness's sharded :func:`repro.core.accuracy.op_mse` path.
+methods — and the start method is pinned explicitly (``mp_context``
+argument, resolved via :func:`repro.serve.pool.default_mp_context`) rather
+than left to the interpreter's mutable global default.  The same
+:func:`pool_map` primitive backs the Monte-Carlo accuracy harness's
+sharded :func:`repro.core.accuracy.op_mse` path.
+
+Pool reuse and serving
+----------------------
+``pool_map`` historically spun up a throwaway ``ProcessPoolExecutor`` per
+call; it is now a thin wrapper over the resident
+:class:`repro.serve.pool.WorkerPool` and accepts ``pool=`` to run over a
+long-lived instance instead (``run_tiled(..., pool=...)`` threads it
+through), so request-serving workloads pay worker startup once.  The
+request decomposition itself is exposed as :func:`build_tile_tasks` /
+:func:`stitch_tiles`; the asyncio serving layer
+(:mod:`repro.serve.scheduler`) uses exactly these to interleave tiles from
+concurrent requests onto one shared pool while preserving the per-request
+determinism contract above.
 
 Beyond the three evaluation applications, :data:`KERNELS` registers the
 four SC image filters of :mod:`repro.apps.filters`; filter-specific
@@ -32,8 +48,16 @@ parameters (``gamma``, ``lo``/``hi``, ...) travel via ``kernel_kwargs``.
 from __future__ import annotations
 
 import inspect
-from concurrent.futures import ProcessPoolExecutor
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    NamedTuple,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 import numpy as np
 
@@ -50,7 +74,8 @@ from .filters import (
 from .interpolation import upscale_sc_kernel
 from .matting import matting_sc_kernel
 
-__all__ = ["tile_grid", "run_tiled", "pool_map", "KERNELS"]
+__all__ = ["tile_grid", "run_tiled", "pool_map", "KERNELS", "TilePlan",
+           "build_tile_tasks", "stitch_tiles"]
 
 #: Flat per-tile kernels, keyed by app/filter name.  Each takes ``(engine,
 #: **named 1-D arrays, length=..., **kernel_kwargs)`` and returns a 1-D
@@ -80,22 +105,34 @@ def tile_grid(height: int, width: int,
 
 
 def pool_map(fn: Callable[[Any], Any], tasks: Sequence[Any],
-             jobs: int) -> List[Any]:
+             jobs: int = 1, *, pool: Optional[Any] = None,
+             mp_context: Any = None) -> List[Any]:
     """Deterministic map over picklable tasks, fanned over ``jobs`` workers.
 
     ``jobs=1`` runs in-process (no pool, identical results); results are
     always returned in task order, so callers reducing over them are
-    independent of worker scheduling.  The pool never spawns more workers
-    than there are tasks — a small faulty sweep with ``jobs=8`` and three
-    tiles pays three process startups, not eight.
+    independent of worker scheduling.  The one-shot pool never spawns more
+    workers than there are tasks — a small faulty sweep with ``jobs=8``
+    and three tiles pays three process startups, not eight.
+
+    ``pool=`` runs the map over a resident
+    :class:`repro.serve.pool.WorkerPool` instead (``jobs`` is then
+    ignored: the pool's own capacity governs parallelism), so back-to-back
+    calls amortise worker startup.  ``mp_context`` pins the start method
+    of the one-shot pool (name, context object, or ``None`` for the
+    pinned platform default — see :mod:`repro.serve.pool`); results are
+    bit-identical either way because tasks are self-contained.
     """
+    if pool is not None:
+        return pool.map(fn, tasks)
     if jobs < 1:
         raise ValueError("jobs must be >= 1")
     workers = min(jobs, len(tasks))
     if workers <= 1:
         return [fn(t) for t in tasks]
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        return list(pool.map(fn, tasks))
+    from ..serve.pool import WorkerPool  # deferred: serve sits above apps
+    with WorkerPool(workers, mp_context=mp_context) as one_shot:
+        return one_shot.map(fn, tasks)
 
 
 def _validate_task_kwargs(kernel: str, input_names: Sequence[str],
@@ -132,11 +169,26 @@ def _validate_task_kwargs(kernel: str, input_names: Sequence[str],
            for p in sig.parameters.values()):
         return
     kernel_params = set(sig.parameters) - {"engine", "length"}
+    for key in input_names:
+        if key not in kernel_params:
+            raise ValueError(
+                f"unknown input {key!r} for kernel {kernel!r}; expected "
+                f"arrays named from: {', '.join(sorted(kernel_params))}")
     for key in kernel_kwargs:
         if key not in kernel_params:
             raise ValueError(
                 f"unknown kwarg {key!r} for kernel {kernel!r}; valid keys: "
                 f"{', '.join(sorted(kernel_params - reserved)) or '(none)'}")
+    required = {name for name, p in sig.parameters.items()
+                if name not in ("engine", "length")
+                and p.default is inspect.Parameter.empty
+                and p.kind in (inspect.Parameter.POSITIONAL_OR_KEYWORD,
+                               inspect.Parameter.KEYWORD_ONLY)}
+    missing = required - reserved - set(kernel_kwargs)
+    if missing:
+        raise ValueError(
+            f"kernel {kernel!r} is missing required input array(s): "
+            f"{', '.join(sorted(missing))}")
 
 
 def _run_tile(task: Tuple[str, str, Dict[str, np.ndarray], int,
@@ -154,10 +206,81 @@ def _run_tile(task: Tuple[str, str, Dict[str, np.ndarray], int,
     return np.asarray(out, dtype=np.float64), engine.ledger
 
 
+class TilePlan(NamedTuple):
+    """A tiled request, decomposed into self-contained worker tasks.
+
+    Produced by :func:`build_tile_tasks`; ``tasks[i]`` is the picklable
+    argument :func:`_run_tile` expects for grid cell ``grid[i]``, and
+    :func:`stitch_tiles` reassembles the per-tile results.  The plan is a
+    pure function of ``(kernel, inputs, length, tile, seed, kwargs)`` —
+    executing its tasks in any order, on any pool, yields the same image.
+    """
+
+    kernel: str
+    shape: Tuple[int, int]
+    grid: List[Tuple[int, int, int, int]]
+    tasks: List[Tuple]
+
+
+def build_tile_tasks(kernel: str, inputs: Dict[str, np.ndarray],
+                     length: int, *, tile: int, seed: Optional[int] = 0,
+                     engine_kwargs: Optional[Dict[str, Any]] = None,
+                     kernel_kwargs: Optional[Dict[str, Any]] = None,
+                     backend: Optional[str] = None) -> TilePlan:
+    """Validate one tiled request and decompose it into per-tile tasks.
+
+    This is the request-side half of :func:`run_tiled` (the other half is
+    :func:`stitch_tiles`); the serving scheduler calls it directly so that
+    tiles from different requests can interleave on one pool.  All
+    validation happens here, in the caller's process, so a bad request
+    fails before anything is submitted.  ``backend`` overrides the
+    process-active execution backend baked into the tasks — the threaded
+    serving client uses it to capture its caller's backend at submit time.
+    """
+    if kernel not in KERNELS:
+        raise ValueError(f"unknown tile kernel {kernel!r}")
+    shapes = {v.shape for v in inputs.values()}
+    if len(shapes) != 1 or any(len(s) != 2 for s in shapes):
+        raise ValueError("tiled inputs must share one 2-D shape")
+    (height, width), = shapes
+    grid = tile_grid(height, width, tile)
+    children = np.random.SeedSequence(seed).spawn(len(grid))
+    backend_name = get_backend(backend).name
+    engine_kwargs = dict(engine_kwargs or {})
+    kernel_kwargs = dict(kernel_kwargs or {})
+    _validate_task_kwargs(kernel, list(inputs), engine_kwargs, kernel_kwargs)
+    # .copy(): full-width slices would otherwise ravel to *views* of the
+    # caller's buffer, and a plan can outlive this call (the async
+    # scheduler pickles tiles later) — a caller mutating its input after
+    # submit must not change what the workers compute.
+    tasks = [
+        (backend_name, kernel,
+         {name: arr[r0:r1, c0:c1].copy().ravel()
+          for name, arr in inputs.items()},
+         length, engine_kwargs, kernel_kwargs, children[i])
+        for i, (r0, r1, c0, c1) in enumerate(grid)
+    ]
+    return TilePlan(kernel, (height, width), grid, tasks)
+
+
+def stitch_tiles(plan: TilePlan,
+                 results: Sequence[Tuple[np.ndarray, EnergyLedger]]
+                 ) -> Tuple[np.ndarray, EnergyLedger]:
+    """Reassemble per-tile results (in grid order) into ``(image, ledger)``."""
+    height, width = plan.shape
+    out = np.empty((height, width), dtype=np.float64)
+    ledger = EnergyLedger()
+    for (r0, r1, c0, c1), (tile_out, tile_ledger) in zip(plan.grid, results):
+        out[r0:r1, c0:c1] = tile_out.reshape(r1 - r0, c1 - c0)
+        ledger.merge(tile_ledger)
+    return out, ledger
+
+
 def run_tiled(kernel: str, inputs: Dict[str, np.ndarray], length: int, *,
               tile: int, jobs: int = 1, seed: Optional[int] = 0,
               engine_kwargs: Optional[Dict[str, Any]] = None,
-              kernel_kwargs: Optional[Dict[str, Any]] = None
+              kernel_kwargs: Optional[Dict[str, Any]] = None,
+              pool: Optional[Any] = None, mp_context: Any = None
               ) -> Tuple[np.ndarray, EnergyLedger]:
     """Run one application kernel over a tiled scene, optionally in parallel.
 
@@ -189,6 +312,13 @@ def run_tiled(kernel: str, inputs: Dict[str, np.ndarray], length: int, *,
         Extra keyword arguments forwarded to the kernel itself (e.g.
         ``gamma``/``degree`` for 'gamma_correct', ``lo``/``hi`` for
         'contrast_stretch').  Must be picklable.
+    pool:
+        Optional resident :class:`repro.serve.pool.WorkerPool` to execute
+        on (``jobs`` is then ignored); back-to-back calls over one pool
+        skip the per-call worker startup.  Output is bit-identical to the
+        one-shot path.
+    mp_context:
+        Start method for the one-shot pool (see :func:`pool_map`).
 
     Returns
     -------
@@ -196,31 +326,9 @@ def run_tiled(kernel: str, inputs: Dict[str, np.ndarray], length: int, *,
     tile ledgers.  The ledger models total device work and is independent
     of ``jobs``; host-side wall-clock parallelism is not a hardware cost.
     """
-    if kernel not in KERNELS:
-        raise ValueError(f"unknown tile kernel {kernel!r}")
-    shapes = {v.shape for v in inputs.values()}
-    if len(shapes) != 1 or any(len(s) != 2 for s in shapes):
-        raise ValueError("tiled inputs must share one 2-D shape")
-    (height, width), = shapes
-    grid = tile_grid(height, width, tile)
-    children = np.random.SeedSequence(seed).spawn(len(grid))
-    backend_name = get_backend().name
-    engine_kwargs = dict(engine_kwargs or {})
-    kernel_kwargs = dict(kernel_kwargs or {})
-    _validate_task_kwargs(kernel, list(inputs), engine_kwargs, kernel_kwargs)
-
-    tasks = [
-        (backend_name, kernel,
-         {name: arr[r0:r1, c0:c1].ravel() for name, arr in inputs.items()},
-         length, engine_kwargs, kernel_kwargs, children[i])
-        for i, (r0, r1, c0, c1) in enumerate(grid)
-    ]
-
-    results = pool_map(_run_tile, tasks, jobs)
-
-    out = np.empty((height, width), dtype=np.float64)
-    ledger = EnergyLedger()
-    for (r0, r1, c0, c1), (tile_out, tile_ledger) in zip(grid, results):
-        out[r0:r1, c0:c1] = tile_out.reshape(r1 - r0, c1 - c0)
-        ledger.merge(tile_ledger)
-    return out, ledger
+    plan = build_tile_tasks(kernel, inputs, length, tile=tile, seed=seed,
+                            engine_kwargs=engine_kwargs,
+                            kernel_kwargs=kernel_kwargs)
+    results = pool_map(_run_tile, plan.tasks, jobs, pool=pool,
+                       mp_context=mp_context)
+    return stitch_tiles(plan, results)

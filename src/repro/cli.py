@@ -2,21 +2,25 @@
 
 Usage::
 
-    python -m repro table1 [--samples 20000]
-    python -m repro table2 [--samples 5000]
+    python -m repro table1 [--samples 10000]
+    python -m repro table2 [--samples 10000]
     python -m repro table3
-    python -m repro table4 [--runs 3] [--size 32]
+    python -m repro table4 [--runs 2] [--size 32]
     python -m repro fig4
     python -m repro fig5
     python -m repro imsng
     python -m repro all
+    python -m repro serve --jobs N      # stdin/JSON request loop
 
 Every target accepts ``--backend {unpacked,packed}`` to pick the
 bit-stream execution backend (default: the ``REPRO_BACKEND`` environment
-variable, falling back to ``unpacked``).  The application targets
-(``table4``) additionally accept ``--tile T --jobs N`` to shard each scene
-into ``T x T`` tiles across N worker processes (deterministic per-tile
-seeds; output is independent of N — see :mod:`repro.apps.executor`) and
+variable, falling back to ``unpacked``).  ``--jobs N`` fans work across N
+worker processes wherever the target shards: the Monte-Carlo tables
+(``table1``/``table2``, chunk-sharded through the factory harness — the
+printed values are independent of N) and the application table
+(``table4``, which additionally needs ``--tile T`` to decompose each
+scene into ``T x T`` tiles with deterministic per-tile seeds — see
+:mod:`repro.apps.executor`).  ``table4`` also accepts
 ``--cell-model {per-bit,column}`` to pick the S-to-B device model:
 ``per-bit`` is the historical per-cell sampling oracle, ``column`` the
 batched popcount readout with cached per-column conductance draws
@@ -25,6 +29,12 @@ batched popcount readout with cached per-column conductance draws
 faulty SC rows: ``dense`` is the bit-exact Bernoulli oracle, ``sparse``
 the statistically conformant Binomial scatter fast path (see
 :mod:`repro.imsc.engine`).
+
+``serve`` starts the request-serving loop instead of printing a table: a
+resident pool of ``--jobs`` worker processes behind a line-delimited JSON
+protocol on stdin/stdout, scheduling concurrent tiled requests fair
+round-robin with per-request output bit-identical to the batch
+``run_tiled`` path (see :mod:`repro.serve`).
 
 Prints ASCII renderings of the paper's tables/figures using the same
 experiment runners the benchmark suite drives.
@@ -44,7 +54,8 @@ __all__ = ["main"]
 
 
 def _print_table1(args) -> None:
-    result = ex.table1_sng_mse(samples=args.samples, seed=args.seed)
+    result = ex.table1_sng_mse(samples=args.samples, seed=args.seed,
+                               jobs=args.jobs)
     lengths = ex.TABLE1_LENGTHS
     rows = [[label] + [row[n] for n in lengths]
             for label, row in result.items()]
@@ -54,7 +65,8 @@ def _print_table1(args) -> None:
 
 
 def _print_table2(args) -> None:
-    result = ex.table2_ops_mse(samples=args.samples, seed=args.seed)
+    result = ex.table2_ops_mse(samples=args.samples, seed=args.seed,
+                               jobs=args.jobs)
     lengths = ex.TABLE1_LENGTHS
     rows = []
     for op, sources in result.items():
@@ -128,7 +140,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                     "Computing using ReRAM' (DAC 2025).")
     parser.add_argument("target",
                         choices=["table1", "table2", "table3", "table4",
-                                 "fig4", "fig5", "imsng", "all"])
+                                 "fig4", "fig5", "imsng", "all", "serve"])
     parser.add_argument("--samples", type=int, default=10_000,
                         help="Monte-Carlo samples for tables I/II")
     parser.add_argument("--runs", type=int, default=2,
@@ -137,8 +149,12 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="scene edge length for table IV")
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--jobs", type=int, default=1,
-                        help="worker processes for tiled SC application "
-                             "runs (table4); values > 1 require --tile")
+                        help="worker processes: shards the Monte-Carlo "
+                             "chunks of table1/table2, the tiled SC "
+                             "application runs of table4 (requires "
+                             "--tile), and sizes the resident pool of "
+                             "'serve'; printed values are independent "
+                             "of N")
     parser.add_argument("--tile", type=int, default=None,
                         help="tile edge length for sharded SC application "
                              "runs (table4); default: whole-image")
@@ -163,11 +179,21 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "REPRO_BACKEND environment variable)")
     args = parser.parse_args(argv)
 
-    if args.jobs > 1 and args.tile is None:
-        parser.error("--jobs > 1 requires --tile (whole-image runs are "
-                     "single-process)")
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
+    if args.jobs > 1 and args.target in ("table3", "fig4", "fig5", "imsng"):
+        parser.error(f"--jobs does not apply to {args.target} (it shards "
+                     "table1/table2/table4 and sizes the 'serve' pool)")
+    if (args.target in ("table4", "all") and args.jobs > 1
+            and args.tile is None):
+        parser.error("--jobs > 1 requires --tile for the application "
+                     "targets (whole-image runs are single-process)")
     if args.backend is not None:
         set_backend(args.backend)
+
+    if args.target == "serve":
+        from .serve import serve_stdio
+        return serve_stdio(jobs=args.jobs)
 
     dispatch = {
         "table1": lambda: _print_table1(args),

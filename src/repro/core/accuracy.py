@@ -67,7 +67,8 @@ def _sng_mse_chunk(task) -> float:
 
 
 def _sng_mse_sharded(factory, length: int, samples: int,
-                     seed: Optional[int], chunk: int, jobs: int) -> float:
+                     seed: Optional[int], chunk: int, jobs: int,
+                     pool) -> float:
     n_chunks = ceil(samples / chunk)
     children = np.random.SeedSequence(seed).spawn(n_chunks)
     sizes = [min(chunk, samples - i * chunk) for i in range(n_chunks)]
@@ -75,13 +76,13 @@ def _sng_mse_sharded(factory, length: int, samples: int,
     tasks = [(backend_name, factory, length, n, child)
              for n, child in zip(sizes, children)]
     from ..apps.executor import pool_map  # deferred: core must not need apps
-    totals = pool_map(_sng_mse_chunk, tasks, jobs)
+    totals = pool_map(_sng_mse_chunk, tasks, jobs, pool=pool)
     return float(sum(totals)) / samples * 100.0
 
 
 def sng_mse(sng, length: int, samples: int = 100_000,
             seed: Optional[int] = 0, chunk: int = 8192,
-            jobs: int = 1) -> float:
+            jobs: int = 1, *, pool=None) -> float:
     """MSE(%) of bit-stream generation for a given SNG (Table I cell).
 
     Draws ``samples`` operand values uniformly from ``[0, 1]``, generates one
@@ -93,14 +94,19 @@ def sng_mse(sng, length: int, samples: int = 100_000,
     which case the chunks get deterministic per-chunk ``SeedSequence``
     children and may fan out over ``jobs`` worker processes; the result is
     independent of ``jobs`` (but differs from the legacy shared-object
-    path, which stays untouched for the pinned Table I values).
+    path, which stays untouched for the pinned Table I values).  ``pool``
+    runs the chunks over a resident :class:`repro.serve.pool.WorkerPool`
+    instead of a one-shot pool — a sweep of many cells should create one
+    pool and share it (the table runners do).
     """
     if callable(sng) and not hasattr(sng, "generate"):
-        return _sng_mse_sharded(sng, length, samples, seed, chunk, jobs)
-    if jobs != 1:
-        raise ValueError("sng_mse(jobs=N) requires an sng *factory* "
-                         "(callable(seed_sequence) -> sng); a shared sng "
-                         "object cannot be sharded deterministically")
+        return _sng_mse_sharded(sng, length, samples, seed, chunk, jobs,
+                                pool)
+    if jobs != 1 or pool is not None:
+        raise ValueError("sng_mse(jobs=N / pool=...) requires an sng "
+                         "*factory* (callable(seed_sequence) -> sng); a "
+                         "shared sng object cannot be sharded "
+                         "deterministically")
     gen = np.random.default_rng(seed)
     total = 0.0
     done = 0
@@ -234,7 +240,7 @@ def _op_mse_chunk(task) -> float:
 
 def _op_mse_sharded(op: Union[str, OpSpec], factory, length: int,
                     samples: int, seed: Optional[int], chunk: int,
-                    jobs: int) -> float:
+                    jobs: int, pool) -> float:
     if not isinstance(op, str):
         raise ValueError("the sharded op_mse path needs an OP_SPECS key "
                          "(workers resolve the spec by name)")
@@ -245,13 +251,13 @@ def _op_mse_sharded(op: Union[str, OpSpec], factory, length: int,
     tasks = [(backend_name, op, factory, length, n, child)
              for n, child in zip(sizes, children)]
     from ..apps.executor import pool_map  # deferred: core must not need apps
-    totals = pool_map(_op_mse_chunk, tasks, jobs)
+    totals = pool_map(_op_mse_chunk, tasks, jobs, pool=pool)
     return float(sum(totals)) / samples * 100.0
 
 
 def op_mse(op: Union[str, OpSpec], sng, length: int, samples: int = 50_000,
            seed: Optional[int] = 0, chunk: int = 4096,
-           jobs: int = 1) -> float:
+           jobs: int = 1, *, pool=None) -> float:
     """MSE(%) of one SC arithmetic operation (Table II cell).
 
     Parameters
@@ -273,13 +279,18 @@ def op_mse(op: Union[str, OpSpec], sng, length: int, samples: int = 50_000,
         Worker processes for the sharded (factory) path; the result is
         independent of ``jobs``.  Requires a factory: the sequential path
         threads one stateful generator and cannot be split.
+    pool:
+        Optional resident :class:`repro.serve.pool.WorkerPool` for the
+        sharded path (see :func:`sng_mse`).
     """
     if callable(sng) and not hasattr(sng, "generate"):
-        return _op_mse_sharded(op, sng, length, samples, seed, chunk, jobs)
-    if jobs != 1:
-        raise ValueError("op_mse(jobs=N) requires an sng *factory* "
-                         "(callable(seed_sequence) -> sng); a shared sng "
-                         "object cannot be sharded deterministically")
+        return _op_mse_sharded(op, sng, length, samples, seed, chunk,
+                               jobs, pool)
+    if jobs != 1 or pool is not None:
+        raise ValueError("op_mse(jobs=N / pool=...) requires an sng "
+                         "*factory* (callable(seed_sequence) -> sng); a "
+                         "shared sng object cannot be sharded "
+                         "deterministically")
     spec = OP_SPECS[op] if isinstance(op, str) else op
     gen = np.random.default_rng(seed)
     total = 0.0

@@ -1,0 +1,32 @@
+"""Async serving layer: persistent worker pool + fair tile scheduler.
+
+The production-facing face of the tile executor.  Where
+:func:`repro.apps.executor.run_tiled` is the batch entry point (one
+request, one throwaway pool), this package keeps a resident
+:class:`WorkerPool` and serves *concurrent* requests over it:
+
+* :class:`WorkerPool` — long-lived worker processes with an explicitly
+  pinned multiprocessing start method and per-worker backend pinning;
+  ``pool_map``/``run_tiled`` accept instances via ``pool=`` so even the
+  classic batch path can amortise startup.
+* :class:`Scheduler` — asyncio request scheduler; decomposes each request
+  with the executor's own task builder, interleaves tiles from different
+  requests fair round-robin, and stitches per-request results exactly as
+  ``run_tiled`` does.  Served output is bit-identical to the batch path
+  per request.
+* :class:`ServingClient` — blocking facade (background event loop) for
+  scripts and benchmarks.
+* :func:`serve_stdio` — the line-delimited JSON request loop behind
+  ``python -m repro serve --jobs N``.
+
+See ``examples/serving.py`` for an end-to-end tour and
+``benchmarks/bench_serve.py`` for the pool-amortisation guard.
+"""
+
+from .pool import BrokenProcessPool, WorkerPool, default_mp_context
+from .scheduler import Scheduler
+from .client import ServingClient
+from .service import serve_stdio
+
+__all__ = ["WorkerPool", "BrokenProcessPool", "default_mp_context",
+           "Scheduler", "ServingClient", "serve_stdio"]

@@ -1,0 +1,245 @@
+"""Asyncio request scheduler: concurrent tiled requests on one shared pool.
+
+:class:`Scheduler` is the serving counterpart of the batch entry point
+:func:`repro.apps.executor.run_tiled`.  A request
+(:meth:`Scheduler.submit_app`) is decomposed into per-tile tasks by the
+same :func:`~repro.apps.executor.build_tile_tasks` the batch path uses,
+the tasks are dispatched onto a resident :class:`~repro.serve.pool.WorkerPool`,
+and the results are reassembled by the same
+:func:`~repro.apps.executor.stitch_tiles` — so a served request is
+**bit-identical** to ``run_tiled`` with the same ``(kernel, inputs,
+length, tile, seed, kwargs)``, no matter what else is in flight.
+
+Fairness
+--------
+The scheduler keeps at most ``max_inflight`` (default: pool capacity)
+tiles submitted at once and picks the next tile **round-robin across
+active requests**, so a 1000-tile scene admitted first cannot starve a
+4-tile request admitted a moment later: while both are active their tiles
+alternate onto the workers.  Dispatch order is deterministic given the
+admission order (``dispatch_log`` records it for the test suite); results
+are never order-sensitive, as each tile's RNG derives from its request's
+``SeedSequence`` child alone.
+
+Failure containment
+-------------------
+* Invalid requests (unknown kernel/kwargs, bad shapes) fail inside
+  ``submit_app`` during task building — before anything touches the pool.
+* A tile task that raises fails only its own request; worker processes
+  stay resident and other requests proceed.
+* A tile task that *kills* its worker breaks the pool's executor: every
+  request with tiles in flight at that moment fails with
+  :class:`~repro.serve.pool.BrokenProcessPool`, the scheduler restarts
+  the pool's workers, and queued/later requests run normally — the
+  resident pool object is never poisoned.
+* A request whose caller cancels the ``submit_app`` future (e.g. an
+  ``asyncio.wait_for`` timeout) is abandoned: its undispatched tiles are
+  dropped so they stop occupying slots other requests need.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+from collections import deque
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..apps import executor as _executor
+from ..energy.model import EnergyLedger
+from .pool import BrokenProcessPool, WorkerPool
+
+__all__ = ["Scheduler", "ServeRequest"]
+
+
+class ServeRequest:
+    """Bookkeeping for one in-flight request (internal to the scheduler)."""
+
+    def __init__(self, req_id: int, plan: "_executor.TilePlan",
+                 future: "asyncio.Future") -> None:
+        self.id = req_id
+        self.plan = plan
+        self.future = future
+        self.results: List[Optional[Tuple[np.ndarray, EnergyLedger]]] = \
+            [None] * len(plan.tasks)
+        self.next_tile = 0
+        self.completed = 0
+        self.failed = False
+
+    @property
+    def has_pending(self) -> bool:
+        return not self.failed and self.next_tile < len(self.plan.tasks)
+
+    def take(self) -> Tuple[int, Tuple]:
+        idx = self.next_tile
+        self.next_tile += 1
+        return idx, self.plan.tasks[idx]
+
+
+class Scheduler:
+    """Fair round-robin tile scheduler over a resident :class:`WorkerPool`.
+
+    One scheduler serves one asyncio event loop; requests may be submitted
+    concurrently from any number of coroutines (or across threads via
+    :class:`repro.serve.client.ServingClient`).  See the module docstring
+    for the determinism, fairness and failure contracts.
+
+    Parameters
+    ----------
+    pool:
+        The resident worker pool to dispatch onto.
+    max_inflight:
+        Maximum tiles submitted to the pool at once; defaults to the
+        pool's capacity, which makes every dispatch decision as late —
+        and therefore as fair — as possible.
+    """
+
+    def __init__(self, pool: WorkerPool,
+                 max_inflight: Optional[int] = None) -> None:
+        if max_inflight is not None and max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1")
+        self.pool = pool
+        self.max_inflight = (max_inflight if max_inflight is not None
+                             else pool.capacity)
+        self._round_robin: "deque[ServeRequest]" = deque()
+        self._inflight = 0
+        self._ids = itertools.count()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._outstanding: set = set()
+        #: ``(request_id, tile_index)`` in dispatch order — the fairness
+        #: audit trail the test suite asserts on.  Bounded: a long-running
+        #: serve loop dispatches millions of tiles and must not accumulate
+        #: an ever-growing list, so only the most recent entries survive.
+        self.dispatch_log: "deque[Tuple[int, int]]" = deque(maxlen=4096)
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    async def submit_app(self, kernel: str,
+                         inputs: Dict[str, np.ndarray], length: int, *,
+                         tile: int, seed: Optional[int] = 0,
+                         engine_kwargs: Optional[Dict[str, Any]] = None,
+                         kernel_kwargs: Optional[Dict[str, Any]] = None,
+                         backend: Optional[str] = None
+                         ) -> Tuple[np.ndarray, EnergyLedger]:
+        """Serve one tiled request; returns ``(image, ledger)``.
+
+        Arguments and result match :func:`repro.apps.executor.run_tiled`
+        exactly (minus ``jobs``, which the shared pool owns) and so does
+        the output, bit for bit.  ``backend`` pins the request's execution
+        backend explicitly (default: the process-active one at build
+        time); cross-thread callers should pass it, since the active
+        backend is process-global.
+        """
+        loop = asyncio.get_running_loop()
+        if self._loop is None:
+            self._loop = loop
+        elif self._loop is not loop:
+            raise RuntimeError("Scheduler is bound to a different event "
+                               "loop; create one scheduler per loop")
+        plan = _executor.build_tile_tasks(
+            kernel, inputs, length, tile=tile, seed=seed,
+            engine_kwargs=engine_kwargs, kernel_kwargs=kernel_kwargs,
+            backend=backend)
+        if not plan.tasks:
+            # Degenerate inputs (a zero-area 2-D shape) produce an empty
+            # grid; resolve now exactly as run_tiled would — completion
+            # otherwise only happens inside a tile callback that never
+            # fires, and the await would hang forever.
+            return _executor.stitch_tiles(plan, [])
+        request = ServeRequest(next(self._ids), plan, loop.create_future())
+        self._outstanding.add(request.future)
+        request.future.add_done_callback(self._outstanding.discard)
+        self._round_robin.append(request)
+        self._pump()
+        return await request.future
+
+    @property
+    def active_requests(self) -> int:
+        return len(self._round_robin)
+
+    async def drain(self) -> None:
+        """Wait until every admitted request has resolved *and* every
+        submitted tile future has delivered its callback.
+
+        Call (on the scheduler's loop) before stopping that loop — a tile
+        callback arriving after the loop is closed would otherwise raise
+        ``RuntimeError`` in the pool's callback thread and strand any
+        request still awaiting it.
+        """
+        if self._outstanding:
+            await asyncio.gather(*list(self._outstanding),
+                                 return_exceptions=True)
+        while self._inflight:   # tiles of already-failed requests
+            await asyncio.sleep(0.005)
+
+    # ------------------------------------------------------------------
+    # dispatch loop
+    # ------------------------------------------------------------------
+    def _pump(self) -> None:
+        """Fill free pool slots, one tile per active request per pass."""
+        while self._inflight < self.max_inflight and self._round_robin:
+            request = self._round_robin.popleft()
+            if request.future.cancelled():
+                # Caller gave up (e.g. wait_for timeout): stop dispatching
+                # its tiles so they don't occupy slots live requests need.
+                request.failed = True
+                continue
+            if not request.has_pending:
+                continue
+            idx, task = request.take()
+            if request.has_pending:
+                self._round_robin.append(request)
+            self.dispatch_log.append((request.id, idx))
+            try:
+                fut = self.pool.submit(_executor._run_tile, task)
+            except Exception as exc:   # broken/closed pool at submit time
+                self._fail(request, exc)
+                self._revive_pool()
+                continue
+            self._inflight += 1
+            fut.add_done_callback(
+                lambda f, request=request, idx=idx:
+                self._loop.call_soon_threadsafe(
+                    self._on_tile_done, request, idx, f))
+
+    def _on_tile_done(self, request: ServeRequest, idx: int, fut) -> None:
+        """Runs on the event loop for every finished tile future."""
+        self._inflight -= 1
+        if request.future.cancelled():
+            # Abandoned by the caller mid-flight: drop the result and stop
+            # dispatching the rest (set_result on a cancelled future would
+            # raise InvalidStateError into the loop).
+            self._fail(request, asyncio.CancelledError())
+        elif fut.cancelled():
+            self._fail(request, BrokenProcessPool(
+                "tile task cancelled by a pool restart"))
+        else:
+            exc = fut.exception()
+            if exc is not None:
+                self._fail(request, exc)
+            elif not request.failed:
+                request.results[idx] = fut.result()
+                request.completed += 1
+                if request.completed == len(request.plan.tasks):
+                    request.future.set_result(
+                        _executor.stitch_tiles(request.plan,
+                                               request.results))
+        self._revive_pool()
+        self._pump()
+
+    def _fail(self, request: ServeRequest, exc: BaseException) -> None:
+        """Fail one request (once); its unsubmitted tiles are dropped."""
+        request.failed = True
+        try:
+            self._round_robin.remove(request)
+        except ValueError:
+            pass
+        if not request.future.done():
+            request.future.set_exception(exc)
+
+    def _revive_pool(self) -> None:
+        """Respawn workers after a hard crash so later requests proceed."""
+        if self.pool.broken and not self.pool.closed:
+            self.pool.restart()

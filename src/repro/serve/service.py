@@ -1,0 +1,159 @@
+"""Line-delimited JSON request loop for ``python -m repro serve``.
+
+One request per line on stdin, one response per line on stdout (responses
+are written in *completion* order and echo the request ``id``, so a client
+pipelining requests can match them up).  The loop serves requests
+concurrently through one :class:`~repro.serve.scheduler.Scheduler` over a
+resident :class:`~repro.serve.pool.WorkerPool` — submitting several
+requests before reading responses interleaves their tiles on the shared
+workers.
+
+Request object::
+
+    {"id": 1, "kernel": "gamma_correct",
+     "inputs": {"image": [[...], ...]},          # named 2-D arrays
+     "length": 128, "tile": 8, "seed": 0,
+     "engine_kwargs": {...}, "kernel_kwargs": {...}}   # optional
+
+Response object::
+
+    {"id": 1, "ok": true, "output": [[...], ...],
+     "energy_j": ..., "latency_s": ...}
+    {"id": 1, "ok": false, "error": "..."}             # on failure
+
+A failed request (bad kwargs, worker crash) answers with ``ok: false``
+and the loop keeps serving — the resident pool is never poisoned.  EOF on
+stdin drains outstanding requests and exits.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import sys
+from typing import Any, Dict, Optional, TextIO
+
+import numpy as np
+
+from .pool import WorkerPool, serving_mp_context
+from .scheduler import Scheduler
+
+__all__ = ["serve_stdio", "decode_request", "encode_response",
+           "encode_error"]
+
+
+def decode_request(raw: Dict[str, Any]) -> Dict[str, Any]:
+    """Validate a parsed request object into ``submit_app`` kwargs.
+
+    The caller extracts ``id`` *before* this runs, so a structurally
+    invalid request still gets an error response carrying its own id (the
+    pipelining correlation contract); only unparseable JSON loses it.
+    """
+    for key in ("kernel", "inputs", "length", "tile"):
+        if key not in raw:
+            raise ValueError(f"request is missing {key!r}")
+    inputs = {name: np.asarray(arr, dtype=np.float64)
+              for name, arr in raw["inputs"].items()}
+    return {
+        "kernel": raw["kernel"],
+        "inputs": inputs,
+        "length": int(raw["length"]),
+        "tile": int(raw["tile"]),
+        "seed": raw.get("seed", 0),
+        "engine_kwargs": raw.get("engine_kwargs") or {},
+        "kernel_kwargs": raw.get("kernel_kwargs") or {},
+    }
+
+
+def encode_response(req_id: Any, image: np.ndarray, ledger) -> str:
+    return json.dumps({"id": req_id, "ok": True,
+                       "output": np.asarray(image).tolist(),
+                       "energy_j": ledger.energy_j,
+                       "latency_s": ledger.latency_s})
+
+
+def encode_error(req_id: Any, exc: BaseException) -> str:
+    return json.dumps({"id": req_id, "ok": False,
+                       "error": f"{type(exc).__name__}: {exc}"})
+
+
+def serve_stdio(in_stream: Optional[TextIO] = None,
+                out_stream: Optional[TextIO] = None, *,
+                jobs: int = 2, mp_context: Any = None,
+                backend: Optional[str] = None,
+                max_pending: int = 64) -> int:
+    """Run the serving loop until EOF on ``in_stream``; returns 0.
+
+    ``jobs`` sizes the resident pool, ``mp_context``/``backend`` pin its
+    start method and execution backend.  The default context here is
+    ``forkserver`` where available (not the package-wide ``fork``
+    default): a serving process is multi-threaded for its whole life, and
+    only a forkserver/spawn pool can respawn crashed workers without
+    forking a threaded process.  ``max_pending`` bounds the number of
+    admitted-but-unfinished requests: each one holds its decoded tile
+    plan in memory, so past the bound the loop stops reading stdin until
+    a response goes out (backpressure instead of unbounded growth).
+    """
+    if max_pending < 1:
+        raise ValueError("max_pending must be >= 1")
+    in_stream = in_stream if in_stream is not None else sys.stdin
+    out_stream = out_stream if out_stream is not None else sys.stdout
+    if mp_context is None:
+        mp_context = serving_mp_context()
+
+    async def _serve(pool: WorkerPool) -> None:
+        loop = asyncio.get_running_loop()
+        write_lock = asyncio.Lock()
+        outstanding: set = set()
+
+        def _write_line(line: str) -> None:
+            out_stream.write(line + "\n")
+            out_stream.flush()
+
+        async def respond(line: str) -> None:
+            # Off the loop thread: a big response to a slow/blocked stdout
+            # reader must not park the event loop (that would freeze all
+            # serving and can deadlock a pipelining client).  The lock
+            # serialises writers so responses never interleave.
+            async with write_lock:
+                await loop.run_in_executor(None, _write_line, line)
+
+        async def handle(raw_line: str) -> None:
+            req_id = None
+            try:
+                raw = json.loads(raw_line)
+                if not isinstance(raw, dict):
+                    raise ValueError("request must be a JSON object")
+                req_id = raw.get("id")
+                request = decode_request(raw)
+                image, ledger = await scheduler.submit_app(**request)
+            except Exception as exc:  # answer, don't kill the loop
+                await respond(encode_error(req_id, exc))
+            else:
+                await respond(encode_response(req_id, image, ledger))
+
+        scheduler = Scheduler(pool)
+        while True:
+            line = await loop.run_in_executor(None, in_stream.readline)
+            if not line:
+                break
+            if not line.strip():
+                continue
+            while len(outstanding) >= max_pending:
+                await asyncio.wait(outstanding,
+                                   return_when=asyncio.FIRST_COMPLETED)
+            task = asyncio.ensure_future(handle(line))
+            outstanding.add(task)
+            task.add_done_callback(outstanding.discard)
+        if outstanding:
+            await asyncio.gather(*outstanding)
+        await scheduler.drain()
+
+    # Start the workers (and the forkserver) before any other thread
+    # exists — boot, not the first request, pays worker cold-start, and
+    # the forkserver is established while the process is still
+    # single-threaded.
+    with WorkerPool(jobs, mp_context=mp_context, backend=backend) as pool:
+        pool.warmup()
+        asyncio.run(_serve(pool))
+    return 0

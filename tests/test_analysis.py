@@ -56,6 +56,15 @@ class TestTable1:
         # IMSNG tracks the software baseline within 2x.
         assert t1["IMSNG M=8"][32] < 2 * t1["Software"][32]
 
+    def test_jobs_do_not_change_the_table(self):
+        # The runner routes through the factory-sharded harness: every
+        # cell is a pure function of (seed, chunk), so fanning the
+        # Monte-Carlo chunks over workers cannot move the table.
+        kwargs = dict(lengths=(32,), segment_sizes=(8,), samples=10_000,
+                      seed=3)   # > one 8192-sample chunk, so jobs=3 fans out
+        assert ex.table1_sng_mse(jobs=1, **kwargs) == \
+            ex.table1_sng_mse(jobs=3, **kwargs)
+
 
 class TestTable2:
     def test_structure(self):
@@ -68,6 +77,13 @@ class TestTable2:
             t2["multiplication"]["software"][32]
         assert t2["division"]["software"][32] > \
             t2["multiplication"]["software"][32]
+
+    def test_jobs_do_not_change_the_table(self):
+        kwargs = dict(lengths=(32,), ops=("multiplication",),
+                      sources=("software", "lfsr"), samples=6_000,
+                      seed=2)   # > one 4096-sample chunk, so jobs=2 fans out
+        assert ex.table2_ops_mse(jobs=1, **kwargs) == \
+            ex.table2_ops_mse(jobs=2, **kwargs)
 
 
 class TestTable3:

@@ -287,29 +287,33 @@ def test_no_unpack_on_sparse_packed_path(monkeypatch):
 # ----------------------------------------------------------------------
 class TestPoolMapWorkerCap:
     def test_workers_capped_at_task_count(self, monkeypatch):
+        # pool_map's one-shot path now goes through serve.pool.WorkerPool;
+        # the worker cap must survive the extraction.
         seen = {}
 
         import repro.apps.executor as executor
+        import repro.serve.pool as serve_pool
 
-        real_pool = executor.ProcessPoolExecutor
+        real_pool = serve_pool.WorkerPool
 
         class RecordingPool(real_pool):
-            def __init__(self, max_workers=None, **kw):
-                seen["max_workers"] = max_workers
-                super().__init__(max_workers=max_workers, **kw)
+            def __init__(self, jobs, **kw):
+                seen["jobs"] = jobs
+                super().__init__(jobs, **kw)
 
-        monkeypatch.setattr(executor, "ProcessPoolExecutor", RecordingPool)
+        monkeypatch.setattr(serve_pool, "WorkerPool", RecordingPool)
         out = executor.pool_map(abs, [-1, -2, -3], jobs=8)
         assert out == [1, 2, 3]
-        assert seen["max_workers"] == 3
+        assert seen["jobs"] == 3
 
     def test_single_task_runs_in_process(self, monkeypatch):
         import repro.apps.executor as executor
+        import repro.serve.pool as serve_pool
 
         def no_pool(*a, **kw):
             raise AssertionError("a single task must not spawn a pool")
 
-        monkeypatch.setattr(executor, "ProcessPoolExecutor", no_pool)
+        monkeypatch.setattr(serve_pool, "WorkerPool", no_pool)
         assert executor.pool_map(abs, [-7], jobs=4) == [7]
         assert executor.pool_map(abs, [], jobs=4) == []
 
@@ -343,6 +347,21 @@ class TestRunTiledValidation:
         with pytest.raises(ValueError, match="collides"):
             run_tiled("contrast_stretch", self._inputs(), 32, tile=4,
                       kernel_kwargs={"image": np.zeros(4)})
+
+    def test_unknown_input_name_rejected_in_parent(self):
+        with pytest.raises(ValueError, match="unknown input"):
+            run_tiled("contrast_stretch",
+                      {"picture": natural_scene(
+                          8, 8, np.random.default_rng(2))}, 32, tile=4)
+
+    def test_missing_required_input_rejected_in_parent(self):
+        # Previously surfaced only as a pickled in-worker TypeError (and,
+        # via the serving scheduler, consumed pool slots before failing).
+        scene = natural_scene(8, 8, np.random.default_rng(2))
+        with pytest.raises(ValueError, match="missing required.*foreground"):
+            run_tiled("matting",
+                      {"composite": scene, "background": scene * 0.5},
+                      32, tile=4)
 
     def test_valid_kwargs_still_run(self):
         out, _ = run_tiled(
