@@ -8,7 +8,7 @@ PYTEST = PYTHONPATH=src $(PYTHON) -m pytest
 
 .PHONY: test test-unpacked test-packed test-faulty test-serving \
 	bench-smoke serve-smoke bench-backend bench-apps bench-faults \
-	bench-serve bench
+	bench-serve bench-serve-load bench-serve-soak bench
 
 test: test-unpacked test-packed bench-smoke serve-smoke
 
@@ -69,6 +69,24 @@ bench-apps:
 # Full acceptance-scale serving benchmark (resident pool amortisation).
 bench-serve:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_serve.py
+
+# Open-loop load generator at smoke scale: replays a mixed request trace
+# (big+small scenes, faulty+fault-free engines, both backends) against
+# ServingClient, verifies every response bit-identical to
+# run_tiled(jobs=1), and reports p50/p90/p99 latency + saturation
+# throughput into BENCH_serve.json.  Flags of interest (see
+# benchmarks/loadgen.py): --rate R paces arrivals open-loop at R req/s
+# (0 = one burst), --front-end stdio drives the JSON loop instead,
+# --soak runs the >=1000-request worker-death acceptance soak.
+bench-serve-load:
+	PYTHONPATH=src $(PYTHON) benchmarks/loadgen.py \
+		--requests 24 --jobs 2 --small 8 --big 12 --length 32
+
+# Sustained-load acceptance soak: >= 1000 mixed requests with a worker
+# death injected mid-stream; requires zero incorrect responses, only
+# BrokenProcessPool failures at the kill, and a pool restart.
+bench-serve-soak:
+	PYTHONPATH=src $(PYTHON) benchmarks/loadgen.py --soak
 
 # Full reproduction report (all tables/figures + perf guards).  The old
 # `pytest benchmarks/ --benchmark-only` form collected nothing (bench_*.py

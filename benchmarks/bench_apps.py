@@ -24,10 +24,14 @@ or standalone, e.g. for the Makefile smoke target::
 
 import argparse
 import os
+import pathlib
 import time
 
 from repro.apps import run_app
 from repro.core.backend import use_backend
+from repro.report import write_bench_record
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
 
 APPS = ("compositing", "interpolation", "matting")
 
@@ -137,6 +141,15 @@ def main() -> int:
     result = compare_apps(args.length, args.size, args.tile, args.jobs,
                           args.repeats, args.faulty, apps=tuple(args.apps))
     print(render(result))
+    path = ROOT / "BENCH_apps.json"
+    write_bench_record(path, "apps",
+                       config={"length": args.length, "size": args.size,
+                               "tile": args.tile, "jobs": args.jobs,
+                               "repeats": args.repeats,
+                               "faulty": args.faulty, "apps": args.apps},
+                       results={"best_speedup": best_speedup(result),
+                                "apps": result["apps"]})
+    print(f"bench record -> {path}")
     return 0
 
 

@@ -18,6 +18,7 @@ or standalone, e.g. for the Makefile smoke target::
 """
 
 import argparse
+import pathlib
 import time
 
 import numpy as np
@@ -25,6 +26,9 @@ import numpy as np
 from repro.core import ops as scops
 from repro.core.backend import use_backend
 from repro.core.bitstream import Bitstream
+from repro.report import write_bench_record
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
 
 FULL_LENGTH = 1 << 20          # >= 1e6 bits per stream
 FULL_BATCH = 1024
@@ -105,6 +109,13 @@ def main() -> int:
     args = parser.parse_args()
     result = compare_backends(args.length, args.batch, args.repeats)
     print(render(result))
+    path = ROOT / "BENCH_backend.json"
+    write_bench_record(path, "backend",
+                       config={"length": args.length, "batch": args.batch,
+                               "repeats": args.repeats},
+                       results={"speedup": result["speedup"],
+                                "backends": result["backends"]})
+    print(f"bench record -> {path}")
     return 0
 
 

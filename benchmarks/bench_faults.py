@@ -32,6 +32,7 @@ floor; the full-scale ratio is well above it on both workloads).
 """
 
 import argparse
+import pathlib
 import time
 
 import numpy as np
@@ -41,7 +42,10 @@ from repro.apps.executor import run_tiled
 from repro.apps.filters import contrast_stretch_inputs
 from repro.apps.images import natural_scene
 from repro.core.backend import use_backend
+from repro.report import write_bench_record
 from repro.reram.faults import DEFAULT_FAULT_RATES
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
 
 FULL_LENGTH = 512
 FULL_SIZE = 48
@@ -142,6 +146,14 @@ def main() -> int:
     result = compare_fault_sampling(args.length, args.size, args.repeats,
                                     args.seed)
     print(render(result))
+    path = ROOT / "BENCH_faults.json"
+    write_bench_record(path, "faults",
+                       config={"length": args.length, "size": args.size,
+                               "repeats": args.repeats, "seed": args.seed,
+                               "min_speedup": args.min_speedup},
+                       results={"best_speedup": result["best_speedup"],
+                                "workloads": result["workloads"]})
+    print(f"bench record -> {path}")
     if result["best_speedup"] < args.min_speedup:
         print(f"FAIL: best speedup {result['best_speedup']:.2f}x < "
               f"{args.min_speedup:.2f}x")

@@ -23,6 +23,7 @@ Run standalone (e.g. the Makefile smoke/acceptance targets)::
 """
 
 import argparse
+import pathlib
 import time
 
 import numpy as np
@@ -31,7 +32,10 @@ from repro.apps.executor import run_tiled
 from repro.apps.filters import gamma_correct_inputs
 from repro.apps.images import natural_scene
 from repro.core.backend import use_backend
+from repro.report import write_bench_record
 from repro.serve import ServingClient, WorkerPool, default_mp_context
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
 
 FULL_SIZE = 16
 FULL_TILE = 4
@@ -125,6 +129,16 @@ def main() -> int:
     result = compare_serving(args.size, args.tile, args.length,
                              args.requests, args.jobs, args.backend)
     print(render(result))
+    path = ROOT / "BENCH_serve_pool.json"
+    write_bench_record(path, "serve_pool",
+                       config={"size": args.size, "tile": args.tile,
+                               "length": args.length,
+                               "requests": args.requests,
+                               "jobs": args.jobs, "backend": args.backend,
+                               "min_speedup": args.min_speedup},
+                       results={"seconds": result["seconds"],
+                                "speedup": result["speedup"]})
+    print(f"bench record -> {path}")
     if result["speedup"]["resident"] < args.min_speedup:
         print(f"FAIL: resident-pool speedup "
               f"{result['speedup']['resident']:.2f}x "

@@ -21,6 +21,7 @@ floor; the full-scale ratio is orders of magnitude higher).
 """
 
 import argparse
+import pathlib
 import time
 
 import numpy as np
@@ -28,6 +29,9 @@ import numpy as np
 from repro.core.backend import use_backend
 from repro.core.bitstream import Bitstream
 from repro.imsc.stob import CELL_MODELS, InMemoryStoB
+from repro.report import write_bench_record
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
 
 FULL_STREAMS = 1 << 18
 FULL_LENGTH = 512
@@ -103,6 +107,15 @@ def main() -> int:
     args = parser.parse_args()
     result = compare_cell_models(args.streams, args.length, args.repeats)
     print(render(result))
+    path = ROOT / "BENCH_stob.json"
+    write_bench_record(path, "stob",
+                       config={"streams": args.streams,
+                               "length": args.length,
+                               "repeats": args.repeats,
+                               "min_speedup": args.min_speedup},
+                       results={"speedup": result["speedup"],
+                                "models": result["models"]})
+    print(f"bench record -> {path}")
     if args.min_speedup and result["speedup"] < args.min_speedup:
         print(f"FAIL: speedup {result['speedup']:.1f}x below the "
               f"{args.min_speedup:.1f}x floor")

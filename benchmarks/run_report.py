@@ -17,6 +17,12 @@ if any step fails.  ``--quick`` shrinks every workload to smoke size
 default.  The pytest-benchmark variants of the table/figure benchmarks
 remain runnable via ``pytest benchmarks/ --benchmark-only -s``
 (``benchmarks/pytest.ini`` restores their collection).
+
+Besides the text report, every benchmark step writes a machine-readable
+``BENCH_*.json`` record at the repo root (see :mod:`repro.report`) —
+the perf trajectory re-anchors read.  After the steps finish the driver
+validates every ``BENCH_*.json`` it finds against the record schema and
+**fails loudly** on a malformed one, in quick and full mode alike.
 """
 
 import argparse
@@ -29,6 +35,10 @@ import time
 ROOT = pathlib.Path(__file__).resolve().parent.parent
 BENCH = ROOT / "benchmarks"
 REPORT = ROOT / "reproduction_report.txt"
+
+sys.path.insert(0, str(ROOT / "src"))   # repro.report, PYTHONPATH or not
+
+from repro.report import load_bench_record   # noqa: E402
 
 
 def _steps(quick: bool):
@@ -58,6 +68,10 @@ def _steps(quick: bool):
              [py, str(BENCH / "bench_serve.py"), "--requests", "4",
               "--size", "12", "--length", "32", "--jobs", "2",
               "--min-speedup", "0"]),
+            ("Serving sustained load (smoke burst)",
+             [py, str(BENCH / "loadgen.py"), "--requests", "24",
+              "--jobs", "2", "--small", "8", "--big", "12",
+              "--length", "32"]),
         ]
     return [
         ("Tables and figures (CLI reproduction)",
@@ -73,6 +87,8 @@ def _steps(quick: bool):
          [py, str(BENCH / "bench_faults.py")]),
         ("Serving layer (resident pool vs cold)",
          [py, str(BENCH / "bench_serve.py")]),
+        ("Serving soak (>= 1000 requests, worker death injected)",
+         [py, str(BENCH / "loadgen.py"), "--soak"]),
     ]
 
 
@@ -121,6 +137,24 @@ def main() -> int:
             fh.write(tail)
         if rc != 0:
             failures.append(title)
+
+    # Machine-readable trajectory: every BENCH_*.json at the root must be
+    # schema-valid — a malformed record poisons every future re-anchor
+    # that reads the trajectory, so it fails the whole run.
+    records = sorted(ROOT.glob("BENCH_*.json"))
+    for path in records:
+        try:
+            record = load_bench_record(path)
+        except ValueError as exc:
+            print(f"MALFORMED bench record {path.name}: {exc}")
+            failures.append(f"bench record {path.name}")
+        else:
+            print(f"bench record ok: {path.name} "
+                  f"(bench={record['bench']}, utc={record['utc']})")
+    if not records:
+        print("MALFORMED bench trajectory: no BENCH_*.json written")
+        failures.append("bench records missing")
+
     if failures:
         print(f"\n{len(failures)} step(s) failed: {', '.join(failures)}")
         return 1

@@ -17,16 +17,23 @@ request, one throwaway pool), this package keeps a resident
 * :class:`ServingClient` — blocking facade (background event loop) for
   scripts and benchmarks.
 * :func:`serve_stdio` — the line-delimited JSON request loop behind
-  ``python -m repro serve --jobs N``.
+  ``python -m repro serve --jobs N`` (strict RFC 8259 responses; a
+  ``{"type": "stats"}`` request returns the metrics snapshot).
+* :class:`ServeMetrics` — Prometheus-style serving metrics (per-request
+  queue wait / exec time / latency percentiles, tiles dispatched, pool
+  restarts, in-flight high-water marks); every scheduler carries one,
+  exposed via ``Scheduler.stats()`` / ``ServingClient.stats()``.
 
-See ``examples/serving.py`` for an end-to-end tour and
-``benchmarks/bench_serve.py`` for the pool-amortisation guard.
+See ``examples/serving.py`` for an end-to-end tour,
+``benchmarks/bench_serve.py`` for the pool-amortisation guard, and
+``benchmarks/loadgen.py`` for the open-loop sustained-load/soak harness.
 """
 
 from .pool import BrokenProcessPool, WorkerPool, default_mp_context
+from .metrics import ServeMetrics
 from .scheduler import Scheduler
 from .client import ServingClient
 from .service import serve_stdio
 
 __all__ = ["WorkerPool", "BrokenProcessPool", "default_mp_context",
-           "Scheduler", "ServingClient", "serve_stdio"]
+           "ServeMetrics", "Scheduler", "ServingClient", "serve_stdio"]

@@ -133,6 +133,22 @@ class ServingClient:
                            kernel_kwargs=kernel_kwargs,
                            backend=backend).result()
 
+    def stats(self) -> Dict[str, Any]:
+        """Metrics snapshot (:meth:`repro.serve.scheduler.Scheduler.stats`).
+
+        Runs on the scheduler's loop thread — the metrics registry is
+        only ever mutated there, so the snapshot is always consistent
+        even while requests are in flight.
+        """
+        if self._loop.is_closed():
+            raise RuntimeError("ServingClient is closed")
+
+        async def _snap() -> Dict[str, Any]:
+            return self.scheduler.stats()
+
+        return asyncio.run_coroutine_threadsafe(_snap(),
+                                                self._loop).result()
+
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------

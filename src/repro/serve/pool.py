@@ -38,7 +38,9 @@ Contracts
 from __future__ import annotations
 
 import multiprocessing
+import os
 import sys
+import time
 from concurrent.futures import Future, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Callable, List, Optional, Sequence, Union
@@ -96,9 +98,16 @@ def _pin_backend(name: str) -> None:
     set_backend(name)
 
 
-def _noop(_: Any) -> None:
-    """Warmup task: forces a worker process to actually start."""
-    return None
+def _warmup_pid(delay: float) -> int:
+    """Warmup task: report the worker's pid after a short dwell.
+
+    The dwell keeps an already-warm worker busy long enough for its
+    still-booting siblings to win the next task off the shared queue —
+    without it one fast worker can drain every warmup task while the
+    others are still spawning.
+    """
+    time.sleep(delay)
+    return os.getpid()
 
 
 class WorkerPool:
@@ -128,6 +137,9 @@ class WorkerPool:
         self._ctx = resolve_mp_context(mp_context)
         self._executor: Optional[ProcessPoolExecutor] = None
         self._broken = False
+        #: Lifetime count of :meth:`restart` calls — the serving metrics
+        #: read it as the pool's crash-respawn trajectory.
+        self.restarts = 0
         self._spawn_executor()
 
     # ------------------------------------------------------------------
@@ -152,6 +164,7 @@ class WorkerPool:
         if self._executor is not None:
             self._executor.shutdown(wait=False, cancel_futures=True)
         self._spawn_executor()
+        self.restarts += 1
 
     def close(self) -> None:
         if self._executor is not None:
@@ -184,6 +197,17 @@ class WorkerPool:
     @property
     def closed(self) -> bool:
         return self._executor is None
+
+    def worker_pids(self) -> List[int]:
+        """PIDs of the currently resident worker processes.
+
+        Empty until workers exist (``ProcessPoolExecutor`` spawns them
+        lazily — :meth:`warmup` forces the full fleet up).  The load
+        harness uses this to inject a worker death mid-soak.
+        """
+        if self._executor is None:
+            return []
+        return [p.pid for p in self._executor._processes.values()]
 
     # ------------------------------------------------------------------
     # execution
@@ -225,7 +249,30 @@ class WorkerPool:
             raise
         return results
 
-    def warmup(self) -> None:
-        """Start every worker now (pool startup otherwise happens lazily,
-        which would bill the first request for process spawn time)."""
-        wait([self.submit(_noop, i) for i in range(self.jobs)])
+    def warmup(self, timeout: float = 30.0) -> set:
+        """Start every worker now; returns the set of warmed worker pids.
+
+        Pool startup is otherwise lazy, which would bill the first
+        request for process spawn time.  Submitting ``jobs`` no-op tasks
+        and waiting on the futures is *not* enough: a fast worker can
+        finish its task (and grab its siblings') while the others are
+        still booting, so that warmup returns with cold workers and the
+        first requests still pay spawn cost.  Instead this loops
+        barrier-style — rounds of short dwell tasks, collecting worker
+        pids — until ``jobs`` *distinct* pids have responded (every
+        worker provably up and serving) or ``timeout`` elapses (a
+        heavily loaded host: the workers that did come up are warm, and
+        boot must not hang forever).
+        """
+        deadline = time.monotonic() + timeout
+        seen: set = set()
+        delay = 0.002
+        while len(seen) < self.jobs:
+            batch = [self.submit(_warmup_pid, delay)
+                     for _ in range(self.jobs)]
+            wait(batch)
+            seen.update(f.result() for f in batch)
+            if time.monotonic() >= deadline:
+                break
+            delay = min(delay * 2, 0.05)
+        return seen

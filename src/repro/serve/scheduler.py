@@ -35,12 +35,23 @@ Failure containment
 * A request whose caller cancels the ``submit_app`` future (e.g. an
   ``asyncio.wait_for`` timeout) is abandoned: its undispatched tiles are
   dropped so they stop occupying slots other requests need.
+
+Observability
+-------------
+Every scheduler carries a :class:`~repro.serve.metrics.ServeMetrics`
+(``scheduler.metrics``): per-request queue wait (admission to first tile
+dispatch), exec time, end-to-end latency, tiles dispatched (one count per
+``dispatch_log`` entry), pool restarts, and in-flight high-water marks.
+:meth:`Scheduler.stats` snapshots it together with the pool's state; the
+stdio front-end serves the same snapshot as the ``{"type": "stats"}``
+request.
 """
 
 from __future__ import annotations
 
 import asyncio
 import itertools
+import time
 from collections import deque
 from typing import Any, Dict, List, Optional, Tuple
 
@@ -48,6 +59,7 @@ import numpy as np
 
 from ..apps import executor as _executor
 from ..energy.model import EnergyLedger
+from .metrics import ServeMetrics
 from .pool import BrokenProcessPool, WorkerPool
 
 __all__ = ["Scheduler", "ServeRequest"]
@@ -66,6 +78,9 @@ class ServeRequest:
         self.next_tile = 0
         self.completed = 0
         self.failed = False
+        self.t_admit = time.perf_counter()
+        self.t_first_dispatch: Optional[float] = None
+        self.counted = False   # metrics: finalized exactly once
 
     @property
     def has_pending(self) -> bool:
@@ -93,15 +108,20 @@ class Scheduler:
         Maximum tiles submitted to the pool at once; defaults to the
         pool's capacity, which makes every dispatch decision as late —
         and therefore as fair — as possible.
+    metrics:
+        The :class:`~repro.serve.metrics.ServeMetrics` registry to feed;
+        a fresh one is created when omitted.
     """
 
     def __init__(self, pool: WorkerPool,
-                 max_inflight: Optional[int] = None) -> None:
+                 max_inflight: Optional[int] = None,
+                 metrics: Optional[ServeMetrics] = None) -> None:
         if max_inflight is not None and max_inflight < 1:
             raise ValueError("max_inflight must be >= 1")
         self.pool = pool
         self.max_inflight = (max_inflight if max_inflight is not None
                              else pool.capacity)
+        self.metrics = metrics if metrics is not None else ServeMetrics()
         self._round_robin: "deque[ServeRequest]" = deque()
         self._inflight = 0
         self._ids = itertools.count()
@@ -138,17 +158,26 @@ class Scheduler:
         elif self._loop is not loop:
             raise RuntimeError("Scheduler is bound to a different event "
                                "loop; create one scheduler per loop")
+        t_admit = time.perf_counter()
         plan = _executor.build_tile_tasks(
             kernel, inputs, length, tile=tile, seed=seed,
             engine_kwargs=engine_kwargs, kernel_kwargs=kernel_kwargs,
             backend=backend)
+        # Requests rejected during task building never count as admitted:
+        # they touched neither the pool nor the dispatch loop.
         if not plan.tasks:
             # Degenerate inputs (a zero-area 2-D shape) produce an empty
             # grid; resolve now exactly as run_tiled would — completion
             # otherwise only happens inside a tile callback that never
             # fires, and the await would hang forever.
+            self.metrics.on_admit()
+            self.metrics.on_request_done(
+                True, queue_wait=0.0, exec_s=0.0,
+                latency_s=time.perf_counter() - t_admit)
             return _executor.stitch_tiles(plan, [])
         request = ServeRequest(next(self._ids), plan, loop.create_future())
+        request.t_admit = t_admit
+        self.metrics.on_admit()
         self._outstanding.add(request.future)
         request.future.add_done_callback(self._outstanding.discard)
         self._round_robin.append(request)
@@ -158,6 +187,25 @@ class Scheduler:
     @property
     def active_requests(self) -> int:
         return len(self._round_robin)
+
+    def stats(self) -> Dict[str, Any]:
+        """Plain-JSON metrics snapshot plus pool state.
+
+        This is the ``{"type": "stats"}`` response payload of the stdio
+        front-end and the return value of ``ServingClient.stats()``.
+        Call on the scheduler's event loop (the metrics registry is
+        mutated there); cross-thread readers go through the loop like the
+        client does.
+        """
+        snap = self.metrics.snapshot()
+        snap["pool"] = {
+            "capacity": self.pool.capacity,
+            "start_method": self.pool.start_method,
+            "restarts": self.pool.restarts,
+            "broken": self.pool.broken,
+            "closed": self.pool.closed,
+        }
+        return snap
 
     async def drain(self) -> None:
         """Wait until every admitted request has resolved *and* every
@@ -185,6 +233,7 @@ class Scheduler:
                 # Caller gave up (e.g. wait_for timeout): stop dispatching
                 # its tiles so they don't occupy slots live requests need.
                 request.failed = True
+                self._finalize(request, ok=False)
                 continue
             if not request.has_pending:
                 continue
@@ -192,6 +241,12 @@ class Scheduler:
             if request.has_pending:
                 self._round_robin.append(request)
             self.dispatch_log.append((request.id, idx))
+            now = time.perf_counter()
+            queue_wait = None
+            if request.t_first_dispatch is None:
+                request.t_first_dispatch = now
+                queue_wait = now - request.t_admit
+            self.metrics.on_dispatch(queue_wait)
             try:
                 fut = self.pool.submit(_executor._run_tile, task)
             except Exception as exc:   # broken/closed pool at submit time
@@ -199,6 +254,7 @@ class Scheduler:
                 self._revive_pool()
                 continue
             self._inflight += 1
+            self.metrics.tiles_inflight.inc()
             fut.add_done_callback(
                 lambda f, request=request, idx=idx:
                 self._loop.call_soon_threadsafe(
@@ -207,6 +263,7 @@ class Scheduler:
     def _on_tile_done(self, request: ServeRequest, idx: int, fut) -> None:
         """Runs on the event loop for every finished tile future."""
         self._inflight -= 1
+        self.metrics.on_tile_done()
         if request.future.cancelled():
             # Abandoned by the caller mid-flight: drop the result and stop
             # dispatching the rest (set_result on a cancelled future would
@@ -226,6 +283,7 @@ class Scheduler:
                     request.future.set_result(
                         _executor.stitch_tiles(request.plan,
                                                request.results))
+                    self._finalize(request, ok=True)
         self._revive_pool()
         self._pump()
 
@@ -238,8 +296,25 @@ class Scheduler:
             pass
         if not request.future.done():
             request.future.set_exception(exc)
+        self._finalize(request, ok=False)
+
+    def _finalize(self, request: ServeRequest, ok: bool) -> None:
+        """Record one request's terminal metrics, exactly once."""
+        if request.counted:
+            return
+        request.counted = True
+        now = time.perf_counter()
+        start = request.t_first_dispatch
+        self.metrics.on_request_done(
+            ok,
+            # never dispatched (failed/cancelled while queued): its whole
+            # life was queue wait
+            queue_wait=(now - request.t_admit) if start is None else None,
+            exec_s=(now - start) if start is not None else None,
+            latency_s=now - request.t_admit)
 
     def _revive_pool(self) -> None:
         """Respawn workers after a hard crash so later requests proceed."""
         if self.pool.broken and not self.pool.closed:
             self.pool.restart()
+            self.metrics.on_pool_restart()

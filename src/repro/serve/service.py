@@ -8,18 +8,46 @@ resident :class:`~repro.serve.pool.WorkerPool` — submitting several
 requests before reading responses interleaves their tiles on the shared
 workers.
 
-Request object::
+Run request (``"type": "run"``, the default when ``type`` is omitted)::
 
     {"id": 1, "kernel": "gamma_correct",
      "inputs": {"image": [[...], ...]},          # named 2-D arrays
      "length": 128, "tile": 8, "seed": 0,
-     "engine_kwargs": {...}, "kernel_kwargs": {...}}   # optional
+     "engine_kwargs": {...}, "kernel_kwargs": {...},   # optional
+     "backend": "packed"}                              # optional
 
-Response object::
+* ``backend`` pins the request's execution backend (``unpacked`` /
+  ``packed``); default is the server process's active backend.
+* ``engine_kwargs.fault_rates`` may be a JSON object of
+  :class:`~repro.reram.faults.GateFaultRates` fields (``and2``/``or2``/
+  ``xor2``/``maj3``/``read``) — decoded into the dataclass here, so
+  faulty engines are reachable over the wire.
+* ``seed`` must be a JSON integer.  ``null`` is rejected: it would reach
+  the engine as "draw OS entropy", silently making served output
+  nondeterministic — the one thing the serving layer promises not to be.
+* Unknown keys are rejected with an ``ok: false`` response naming them;
+  a silently ignored key (the pre-fix behaviour for ``backend``) means a
+  client believes it pinned something it didn't.
+
+Stats request — a metrics snapshot of the scheduler/pool (see
+:mod:`repro.serve.metrics`), answered immediately, never queued behind
+compute::
+
+    {"id": 2, "type": "stats"}
+
+Response objects::
 
     {"id": 1, "ok": true, "output": [[...], ...],
      "energy_j": ..., "latency_s": ...}
+    {"id": 1, "ok": true, ..., "nonfinite": 3}         # see below
+    {"id": 2, "ok": true, "stats": {...}}              # stats request
     {"id": 1, "ok": false, "error": "..."}             # on failure
+
+Responses are **strict RFC 8259**: every ``json.dumps`` here runs with
+``allow_nan=False``, and degenerate outputs containing ``NaN``/``±Inf``
+(which the bare encoder would emit as literals strict parsers reject)
+are mapped to JSON ``null`` with a ``nonfinite`` count flagging the
+substitution.
 
 A failed request (bad kwargs, worker crash) answers with ``ok: false``
 and the loop keeps serving — the resident pool is never poisoned.  EOF on
@@ -30,51 +58,119 @@ from __future__ import annotations
 
 import asyncio
 import json
+import math
 import sys
-from typing import Any, Dict, Optional, TextIO
+from typing import Any, Dict, Optional, TextIO, Tuple
 
 import numpy as np
 
+from ..reram.faults import GateFaultRates
 from .pool import WorkerPool, serving_mp_context
 from .scheduler import Scheduler
 
 __all__ = ["serve_stdio", "decode_request", "encode_response",
-           "encode_error"]
+           "encode_error", "encode_stats"]
+
+#: Every key a run request may carry; anything else is rejected by name.
+REQUEST_KEYS = frozenset({
+    "id", "type", "kernel", "inputs", "length", "tile", "seed",
+    "engine_kwargs", "kernel_kwargs", "backend",
+})
 
 
 def decode_request(raw: Dict[str, Any]) -> Dict[str, Any]:
-    """Validate a parsed request object into ``submit_app`` kwargs.
+    """Validate a parsed run-request object into ``submit_app`` kwargs.
 
     The caller extracts ``id`` *before* this runs, so a structurally
     invalid request still gets an error response carrying its own id (the
     pipelining correlation contract); only unparseable JSON loses it.
+
+    Strictness is deliberate: an unknown key, a non-integer ``seed`` or a
+    non-string ``backend`` raises (→ ``ok: false`` naming the problem)
+    instead of being dropped — a mangled-but-accepted request breaks
+    reproducibility claims silently, which is worse than failing.
     """
+    unknown = sorted(set(raw) - REQUEST_KEYS)
+    if unknown:
+        raise ValueError(
+            f"unknown request key(s): {', '.join(map(repr, unknown))}; "
+            f"valid keys: {', '.join(sorted(REQUEST_KEYS))}")
     for key in ("kernel", "inputs", "length", "tile"):
         if key not in raw:
             raise ValueError(f"request is missing {key!r}")
+    seed = raw.get("seed", 0)
+    if not isinstance(seed, int) or isinstance(seed, bool):
+        raise ValueError(
+            f"seed must be a JSON integer, got {seed!r}: a null/float "
+            f"seed would make served output silently nondeterministic")
+    backend = raw.get("backend")
+    if backend is not None and not isinstance(backend, str):
+        raise ValueError(f"backend must be a string, got {backend!r}")
     inputs = {name: np.asarray(arr, dtype=np.float64)
               for name, arr in raw["inputs"].items()}
+    engine_kwargs = dict(raw.get("engine_kwargs") or {})
+    rates = engine_kwargs.get("fault_rates")
+    if isinstance(rates, dict):
+        # JSON boundary: the engine wants a GateFaultRates dataclass; a
+        # JSON client can only send its fields as an object.
+        try:
+            engine_kwargs["fault_rates"] = GateFaultRates(**rates)
+        except TypeError as exc:
+            raise ValueError(f"bad fault_rates object: {exc}") from exc
     return {
         "kernel": raw["kernel"],
         "inputs": inputs,
         "length": int(raw["length"]),
         "tile": int(raw["tile"]),
-        "seed": raw.get("seed", 0),
-        "engine_kwargs": raw.get("engine_kwargs") or {},
+        "seed": seed,
+        "engine_kwargs": engine_kwargs,
         "kernel_kwargs": raw.get("kernel_kwargs") or {},
+        "backend": backend,
     }
 
 
+def _null_nonfinite(arr: np.ndarray) -> Tuple[list, int]:
+    """Nested lists with NaN/±Inf mapped to ``None``, plus their count."""
+    mask = ~np.isfinite(arr)
+    count = int(mask.sum())
+    if not count:
+        return arr.tolist(), 0
+    out = arr.astype(object)
+    out[mask] = None
+    return out.tolist(), count
+
+
 def encode_response(req_id: Any, image: np.ndarray, ledger) -> str:
-    return json.dumps({"id": req_id, "ok": True,
-                       "output": np.asarray(image).tolist(),
-                       "energy_j": ledger.energy_j,
-                       "latency_s": ledger.latency_s})
+    """Strict-JSON success response (see the module docstring).
+
+    Bare ``json.dumps`` writes non-RFC-8259 ``NaN``/``Infinity`` literals
+    for non-finite floats; here those are substituted with ``null`` and
+    counted in a ``nonfinite`` field so the client knows the output was
+    degenerate, and the dump runs with ``allow_nan=False`` as a backstop.
+    """
+    output, nonfinite = _null_nonfinite(
+        np.asarray(image, dtype=np.float64))
+    payload = {"id": req_id, "ok": True, "output": output,
+               "energy_j": ledger.energy_j,
+               "latency_s": ledger.latency_s}
+    for key in ("energy_j", "latency_s"):
+        if not math.isfinite(payload[key]):
+            payload[key] = None
+            nonfinite += 1
+    if nonfinite:
+        payload["nonfinite"] = nonfinite
+    return json.dumps(payload, allow_nan=False)
 
 
 def encode_error(req_id: Any, exc: BaseException) -> str:
     return json.dumps({"id": req_id, "ok": False,
-                       "error": f"{type(exc).__name__}: {exc}"})
+                       "error": f"{type(exc).__name__}: {exc}"},
+                      allow_nan=False)
+
+
+def encode_stats(req_id: Any, stats: Dict[str, Any]) -> str:
+    return json.dumps({"id": req_id, "ok": True, "stats": stats},
+                      allow_nan=False)
 
 
 def serve_stdio(in_stream: Optional[TextIO] = None,
@@ -125,6 +221,15 @@ def serve_stdio(in_stream: Optional[TextIO] = None,
                 if not isinstance(raw, dict):
                     raise ValueError("request must be a JSON object")
                 req_id = raw.get("id")
+                rtype = raw.get("type", "run")
+                if rtype == "stats":
+                    # Metrics snapshot: answered from the loop thread
+                    # immediately, never queued behind compute.
+                    await respond(encode_stats(req_id, scheduler.stats()))
+                    return
+                if rtype != "run":
+                    raise ValueError(f"unknown request type {rtype!r}; "
+                                     f"expected 'run' or 'stats'")
                 request = decode_request(raw)
                 image, ledger = await scheduler.submit_app(**request)
             except Exception as exc:  # answer, don't kill the loop
