@@ -1,0 +1,204 @@
+"""Scene-transport guard: shared-memory scene store vs per-request copy.
+
+Workload: a client streams ``M`` requests over the **same big scene** —
+the repeated-scene shape the shm transport exists for — through one
+resident :class:`repro.serve.ServingClient`, once per transport:
+
+* ``copy`` — every request re-ships the scene: ``build_tile_tasks``
+  copies each tile slice out of the input arrays and pickles it through
+  the pool's task pipe (the pre-transport behaviour).
+* ``shm``  — the scene is published once into the content-addressed
+  :class:`repro.serve.SceneStore` via a ``put_scene`` handle; every
+  request's tile tasks carry only ``(digest, window)`` references and
+  the workers read their windows straight out of shared memory.
+
+The kernel is deliberately **transport-bound**: a registered blend over
+four full-scene input arrays with trivial arithmetic, so the measured
+ratio isolates scene shipping instead of SC compute (the SC kernels cost
+~100 ms/MiB of scene vs ~1 ms/MiB of transport, which would flatten any
+transport ratio to ~1x regardless of how many bytes move).
+
+Every response under **both** transports is asserted bit-identical to
+the ``run_tiled(jobs=1)`` batch oracle before timing is reported.  The
+acceptance guard requires shm to beat copy by ``--min-speedup`` (default
+1.5x) on served throughput.
+
+The registered bench kernel only reaches pool workers under the ``fork``
+start method (workers inherit the parent's kernel registry); on
+platforms without fork the benchmark reports SKIP and exits 0.
+
+Run standalone (e.g. the Makefile smoke/acceptance targets)::
+
+    PYTHONPATH=src python benchmarks/bench_transport.py
+    PYTHONPATH=src python benchmarks/bench_transport.py --size 256 --requests 8
+"""
+
+import argparse
+import multiprocessing
+import pathlib
+import sys
+import time
+
+import numpy as np
+
+from repro.apps.executor import KERNELS, run_tiled
+from repro.apps.images import natural_scene
+from repro.core.backend import use_backend
+from repro.report import write_bench_record
+from repro.serve import ServingClient
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+FULL_SIZE = 512
+FULL_TILE = 256
+FULL_LENGTH = 8
+FULL_REQUESTS = 16
+MIN_SPEEDUP = 1.5
+
+
+def bench_blend(engine, base, overlay, weight, detail, length):
+    """Transport-bound kernel: four full-scene inputs, trivial compute."""
+    return base * weight + overlay * (1.0 - weight) + 0.01 * detail
+
+
+KERNELS.setdefault("bench_blend", bench_blend)
+
+
+def build_scene(size: int, seed: int = 0) -> dict:
+    """Four same-shape float arrays — the scene payload being shipped."""
+    rng = np.random.default_rng(seed)
+    img = natural_scene(size, size, rng)
+    return {
+        "base": img,
+        "overlay": img[::-1].copy(),
+        "weight": np.clip(img * 0.5 + 0.25, 0.0, 1.0),
+        "detail": rng.random((size, size)),
+    }
+
+
+def compare_transports(size: int = FULL_SIZE, tile: int = FULL_TILE,
+                       length: int = FULL_LENGTH,
+                       requests: int = FULL_REQUESTS, jobs: int = 2,
+                       backend: str = "packed", seed: int = 0) -> dict:
+    """Served req/s per transport plus the shm scene-cache counters."""
+    mp_context = multiprocessing.get_context("fork")
+    with use_backend(backend):
+        inputs = build_scene(size, seed)
+        kwargs = dict(tile=tile, seed=seed)
+        oracle, _ = run_tiled("bench_blend", inputs, length, jobs=1,
+                              **kwargs)
+
+        rps = {}
+        scene_cache = None
+        for transport in ("copy", "shm"):
+            with ServingClient(jobs=jobs, transport=transport,
+                               mp_context=mp_context,
+                               backend=backend) as client:
+                handle = (client.put_scene(inputs) if transport == "shm"
+                          else None)
+                payload = None if handle else inputs
+                # one warm request: pool spin-up and the scene's single
+                # shm publication are both excluded from the timed wave
+                client.submit("bench_blend", payload, length, scene=handle,
+                              **kwargs).result()
+                t0 = time.perf_counter()
+                futures = [client.submit("bench_blend", payload, length,
+                                         scene=handle, **kwargs)
+                           for _ in range(requests)]
+                outputs = [f.result()[0] for f in futures]
+                rps[transport] = requests / (time.perf_counter() - t0)
+                if transport == "shm":
+                    scene_cache = client.stats().get("scene_store")
+                for out in outputs:
+                    np.testing.assert_array_equal(out, oracle)
+
+    scene_bytes = sum(np.ascontiguousarray(a).nbytes
+                      for a in inputs.values())
+    return {
+        "size": size, "tile": tile, "length": length,
+        "requests": requests, "jobs": jobs, "backend": backend,
+        "scene_bytes": scene_bytes,
+        "rps": rps,
+        "speedup": rps["shm"] / rps["copy"],
+        "scene_cache": scene_cache,
+    }
+
+
+def render(result: dict) -> str:
+    cache = result["scene_cache"] or {}
+    lines = [
+        f"{result['requests']} requests over one "
+        f"{result['size']}x{result['size']} scene "
+        f"({result['scene_bytes'] / 2**20:.1f} MiB), "
+        f"tile={result['tile']}, N={result['length']}, "
+        f"jobs={result['jobs']}, backend={result['backend']} "
+        f"(outputs asserted bit-identical to run_tiled(jobs=1) under "
+        f"both transports)",
+        f"  copy: {result['rps']['copy']:8.1f} req/s",
+        f"   shm: {result['rps']['shm']:8.1f} req/s  "
+        f"({result['speedup']:4.2f}x vs copy)",
+        f"  scene cache: {cache.get('hits')} hits / "
+        f"{cache.get('misses')} misses, "
+        f"{cache.get('bytes_shipped')} scene bytes shipped total",
+    ]
+    return "\n".join(lines)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--size", type=int, default=FULL_SIZE,
+                        help="scene edge length in pixels")
+    parser.add_argument("--tile", type=int, default=FULL_TILE,
+                        help="tile edge length")
+    parser.add_argument("--length", type=int, default=FULL_LENGTH,
+                        help="stream length N in bits (kept small: the "
+                             "guard isolates transport, not SC compute)")
+    parser.add_argument("--requests", type=int, default=FULL_REQUESTS,
+                        help="timed requests over the same scene")
+    parser.add_argument("--jobs", type=int, default=2,
+                        help="resident worker processes")
+    parser.add_argument("--min-speedup", type=float, default=MIN_SPEEDUP,
+                        help="required shm-vs-copy served throughput ratio")
+    args = parser.parse_args()
+
+    if "fork" not in multiprocessing.get_all_start_methods():
+        print("SKIP: bench_transport needs the fork start method (the "
+              "registered bench kernel must be inherited by the workers)")
+        return 0
+
+    # Both execution backends: bit-identity must hold under each, and
+    # the transport ratio should be backend-independent (the bench
+    # kernel is transport-bound by design).
+    results = {}
+    for backend in ("unpacked", "packed"):
+        result = compare_transports(args.size, args.tile, args.length,
+                                    args.requests, args.jobs, backend)
+        results[backend] = result
+        print(render(result))
+    path = ROOT / "BENCH_transport.json"
+    write_bench_record(path, "transport",
+                       config={"size": args.size, "tile": args.tile,
+                               "length": args.length,
+                               "requests": args.requests,
+                               "jobs": args.jobs,
+                               "min_speedup": args.min_speedup},
+                       results={backend: {
+                           "rps": r["rps"],
+                           "speedup": r["speedup"],
+                           "scene_bytes": r["scene_bytes"],
+                           "scene_cache": r["scene_cache"]}
+                           for backend, r in results.items()})
+    print(f"bench record -> {path}")
+    failed = {backend: r["speedup"] for backend, r in results.items()
+              if r["speedup"] < args.min_speedup}
+    if failed:
+        for backend, speedup in failed.items():
+            print(f"FAIL: shm-vs-copy speedup {speedup:.2f}x "
+                  f"({backend} backend) < required "
+                  f"{args.min_speedup:.2f}x")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

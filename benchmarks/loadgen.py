@@ -41,6 +41,7 @@ trajectory re-anchors read.  Typical invocations::
     PYTHONPATH=src python benchmarks/loadgen.py --rate 20 --requests 200
     PYTHONPATH=src python benchmarks/loadgen.py --soak           # acceptance
     PYTHONPATH=src python benchmarks/loadgen.py --front-end stdio
+    PYTHONPATH=src python benchmarks/loadgen.py --transport copy # pre-shm
 """
 
 import argparse
@@ -139,13 +140,13 @@ class ReferenceCache:
 # client front-end
 # ----------------------------------------------------------------------
 def run_client(trace: list, templates: list, jobs: int, rate: float,
-               kill_worker: bool) -> dict:
+               kill_worker: bool, transport: str = "shm") -> dict:
     """Drive ``ServingClient`` open-loop; returns raw per-request records
     plus the server-side metrics snapshot."""
     records = []
     kill_at = len(trace) // 2
     killed = 0
-    with ServingClient(jobs=jobs) as client:
+    with ServingClient(jobs=jobs, transport=transport) as client:
         victims = client.pool.worker_pids()   # fleet is warm (warmup=True)
         t0 = time.perf_counter()
         for i, (tidx, seed) in enumerate(trace):
@@ -236,7 +237,7 @@ class _TimestampedWriter(io.TextIOBase):
 
 
 def run_stdio(trace: list, templates: list, jobs: int,
-              rate: float) -> dict:
+              rate: float, transport: str = "shm") -> dict:
     """Drive ``serve_stdio`` through paced in-memory streams."""
     lines = []
     for i, (tidx, seed) in enumerate(trace):
@@ -256,7 +257,7 @@ def run_stdio(trace: list, templates: list, jobs: int,
     reader = _PacedReader(lines, rate, submit_times)
     writer = _TimestampedWriter()
     t0 = time.perf_counter()
-    serve_stdio(reader, writer, jobs=jobs)
+    serve_stdio(reader, writer, jobs=jobs, transport=transport)
     elapsed = time.perf_counter() - t0
 
     stats = None
@@ -333,6 +334,10 @@ def summarise(raw: dict, trace: list, templates: list,
         "saturation_rps": (ok / elapsed
                            if rate == 0 and elapsed > 0 else None),
         "latency_s": _percentiles(latencies),
+        # shm transport only: cross-request hit rate of the scene store
+        # (the mixed trace cycles a handful of scenes, so steady state
+        # should be nearly all hits)
+        "scene_hit_rate": (stats.get("scene_store") or {}).get("hit_rate"),
         "server_stats": stats,
     }
 
@@ -356,6 +361,9 @@ def render(results: dict) -> str:
     elif results["saturation_rps"]:
         lines.append(f"  saturation throughput: "
                      f"{results['saturation_rps']:.1f} req/s")
+    if results["scene_hit_rate"] is not None:
+        lines.append(f"  scene-cache hit rate: "
+                     f"{results['scene_hit_rate'] * 100:.1f}%")
     if results["killed_workers"]:
         lines.append(f"  worker deaths injected: "
                      f"{results['killed_workers']}, pool restarts: "
@@ -377,6 +385,12 @@ def main() -> int:
                         default="client", dest="front_end",
                         help="drive ServingClient (default) or the "
                              "stdin/JSON serve_stdio loop")
+    parser.add_argument("--transport", choices=["shm", "copy"],
+                        default="shm",
+                        help="scene transport: 'shm' ships each scene "
+                             "once through the shared-memory scene store "
+                             "(repeated scenes are zero-byte hits), "
+                             "'copy' pickles tile slices per request")
     parser.add_argument("--small", type=int, default=8,
                         help="small-scene edge length in pixels")
     parser.add_argument("--big", type=int, default=16,
@@ -413,13 +427,15 @@ def main() -> int:
     trace = build_trace(requests, templates)
     if args.front_end == "client":
         raw = run_client(trace, templates, args.jobs, args.rate,
-                         kill_worker)
+                         kill_worker, args.transport)
     else:
-        raw = run_stdio(trace, templates, args.jobs, args.rate)
+        raw = run_stdio(trace, templates, args.jobs, args.rate,
+                        args.transport)
     results = summarise(raw, trace, templates, args.rate)
     print(render(results))
 
-    config = {"front_end": args.front_end, "requests": requests,
+    config = {"front_end": args.front_end, "transport": args.transport,
+              "requests": requests,
               "rate": args.rate, "jobs": args.jobs, "small": args.small,
               "big": args.big, "length": args.length, "tile": args.tile,
               "soak": args.soak, "kill_worker": kill_worker,

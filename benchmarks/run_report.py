@@ -44,7 +44,7 @@ from repro.report import load_bench_record   # noqa: E402
 def _steps(quick: bool):
     py = sys.executable
     if quick:
-        # Same six steps as the full run, shrunk to smoke size (flags
+        # Same steps as the full run, shrunk to smoke size (flags
         # mirror make bench-smoke / serve-smoke) — quick mode trades
         # guard strength for speed, never coverage.
         return [
@@ -72,6 +72,10 @@ def _steps(quick: bool):
              [py, str(BENCH / "loadgen.py"), "--requests", "24",
               "--jobs", "2", "--small", "8", "--big", "12",
               "--length", "32"]),
+            ("Scene transport (smoke)",
+             [py, str(BENCH / "bench_transport.py"), "--size", "256",
+              "--tile", "128", "--requests", "8", "--jobs", "2",
+              "--min-speedup", "0"]),
         ]
     return [
         ("Tables and figures (CLI reproduction)",
@@ -89,6 +93,8 @@ def _steps(quick: bool):
          [py, str(BENCH / "bench_serve.py")]),
         ("Serving soak (>= 1000 requests, worker death injected)",
          [py, str(BENCH / "loadgen.py"), "--soak"]),
+        ("Scene transport (shm scene store vs per-request copy)",
+         [py, str(BENCH / "bench_transport.py")]),
     ]
 
 

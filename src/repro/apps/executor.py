@@ -48,6 +48,7 @@ parameters (``gamma``, ``lo``/``hi``, ...) travel via ``kernel_kwargs``.
 from __future__ import annotations
 
 import inspect
+from functools import lru_cache
 from typing import (
     Any,
     Callable,
@@ -135,6 +136,64 @@ def pool_map(fn: Callable[[Any], Any], tasks: Sequence[Any],
         return one_shot.map(fn, tasks)
 
 
+@lru_cache(maxsize=1)
+def _engine_param_names() -> frozenset:
+    """Constructor kwargs of :class:`InMemorySCEngine`, introspected once."""
+    return frozenset(
+        inspect.signature(InMemorySCEngine.__init__).parameters) - {"self"}
+
+
+@lru_cache(maxsize=256)
+def _kernel_sig_info(fn: Callable) -> Tuple[bool, frozenset, frozenset]:
+    """``(has_var_keyword, param_names, required_names)`` for one kernel.
+
+    Keyed on the function object (not the registry name) so re-binding a
+    name in :data:`KERNELS` — the test suite does — can never serve a
+    stale signature.
+    """
+    sig = inspect.signature(fn)
+    has_var_kw = any(p.kind is inspect.Parameter.VAR_KEYWORD
+                     for p in sig.parameters.values())
+    params = frozenset(sig.parameters) - {"engine", "length"}
+    required = frozenset(
+        name for name, p in sig.parameters.items()
+        if name not in ("engine", "length")
+        and p.default is inspect.Parameter.empty
+        and p.kind in (inspect.Parameter.POSITIONAL_OR_KEYWORD,
+                       inspect.Parameter.KEYWORD_ONLY))
+    return has_var_kw, params, required
+
+
+#: Engine-kwarg combinations already probed OK (a throwaway engine was
+#: constructed without raising).  Serving hot path: re-probing the same
+#: frozen kwargs on every request would rebuild an engine per request.
+_ENGINE_PROBE_CACHE: set = set()
+_ENGINE_PROBE_CACHE_MAX = 1024
+
+
+def _probe_engine_kwargs(engine_kwargs: Dict[str, Any]) -> None:
+    """Reject bad engine kwarg *values* with the engine's own message.
+
+    Constructing a throwaway engine (no stream state) validates values
+    like ``fault_sampling``; combinations that pass are remembered (keyed
+    on the frozen kwargs) so repeated requests skip the probe.  Failures
+    are never cached, and unhashable values fall back to probing every
+    time.
+    """
+    try:
+        key = tuple(sorted(engine_kwargs.items()))
+        hash(key)
+    except TypeError:
+        key = None
+    if key is not None and key in _ENGINE_PROBE_CACHE:
+        return
+    InMemorySCEngine(**engine_kwargs)
+    if key is not None:
+        if len(_ENGINE_PROBE_CACHE) >= _ENGINE_PROBE_CACHE_MAX:
+            _ENGINE_PROBE_CACHE.clear()
+        _ENGINE_PROBE_CACHE.add(key)
+
+
 def _validate_task_kwargs(kernel: str, input_names: Sequence[str],
                           engine_kwargs: Dict[str, Any],
                           kernel_kwargs: Dict[str, Any]) -> None:
@@ -143,12 +202,12 @@ def _validate_task_kwargs(kernel: str, input_names: Sequence[str],
     A bad key would otherwise surface only inside a worker process as an
     opaque pickled ``TypeError``; checking against the engine constructor
     and the kernel signature here names the offending key directly.
-    Engine kwarg *values* are probed too, by constructing a throwaway
-    engine (cheap — no stream state), so e.g. an invalid
-    ``fault_sampling`` string is rejected with the engine's own message.
+    Engine kwarg *values* are probed too (:func:`_probe_engine_kwargs`).
+    All introspection is cached — this runs once per served request, and
+    re-running ``inspect.signature`` plus an engine construction per
+    request was measurable in the serving hot path.
     """
-    engine_params = set(
-        inspect.signature(InMemorySCEngine.__init__).parameters) - {"self"}
+    engine_params = _engine_param_names()
     for key in engine_kwargs:
         if key == "rng":
             raise ValueError("engine_kwargs must not contain 'rng': each "
@@ -158,17 +217,15 @@ def _validate_task_kwargs(kernel: str, input_names: Sequence[str],
             raise ValueError(
                 f"unknown engine kwarg {key!r}; valid keys: "
                 f"{', '.join(sorted(engine_params - {'rng'}))}")
-    InMemorySCEngine(**engine_kwargs)
+    _probe_engine_kwargs(engine_kwargs)
     reserved = set(input_names)
     for key in kernel_kwargs:
         if key in reserved:
             raise ValueError(f"kernel kwarg {key!r} collides with a tiled "
                              f"input array of the same name")
-    sig = inspect.signature(KERNELS[kernel])
-    if any(p.kind is inspect.Parameter.VAR_KEYWORD
-           for p in sig.parameters.values()):
+    has_var_kw, kernel_params, required = _kernel_sig_info(KERNELS[kernel])
+    if has_var_kw:
         return
-    kernel_params = set(sig.parameters) - {"engine", "length"}
     for key in input_names:
         if key not in kernel_params:
             raise ValueError(
@@ -179,11 +236,6 @@ def _validate_task_kwargs(kernel: str, input_names: Sequence[str],
             raise ValueError(
                 f"unknown kwarg {key!r} for kernel {kernel!r}; valid keys: "
                 f"{', '.join(sorted(kernel_params - reserved)) or '(none)'}")
-    required = {name for name, p in sig.parameters.items()
-                if name not in ("engine", "length")
-                and p.default is inspect.Parameter.empty
-                and p.kind in (inspect.Parameter.POSITIONAL_OR_KEYWORD,
-                               inspect.Parameter.KEYWORD_ONLY)}
     missing = required - reserved - set(kernel_kwargs)
     if missing:
         raise ValueError(
@@ -191,13 +243,24 @@ def _validate_task_kwargs(kernel: str, input_names: Sequence[str],
             f"{', '.join(sorted(missing))}")
 
 
-def _run_tile(task: Tuple[str, str, Dict[str, np.ndarray], int,
+def _run_tile(task: Tuple[str, str, Any, int,
                           Dict[str, Any], Dict[str, Any],
                           np.random.SeedSequence]
               ) -> Tuple[np.ndarray, EnergyLedger]:
-    """Execute one tile: fresh engine, deterministic child RNG."""
+    """Execute one tile: fresh engine, deterministic child RNG.
+
+    The third task element is either a dict of copied 1-D tile arrays
+    (copy transport — the default) or a
+    :class:`repro.serve.transport.SceneTileRef` (shared-memory reference
+    transport): the worker then attaches to the published scene segment
+    and copies out just its tile window, bit-identically to the copy
+    mode's parent-side slice.
+    """
     (backend_name, kernel_name, arrays, length, engine_kwargs,
      kernel_kwargs, child) = task
+    if not isinstance(arrays, dict):   # SceneTileRef: resolve via shm
+        from ..serve.transport import fetch_tile
+        arrays = fetch_tile(arrays)
     set_backend(backend_name)
     engine = InMemorySCEngine(rng=np.random.default_rng(child),
                               **engine_kwargs)
@@ -214,19 +277,28 @@ class TilePlan(NamedTuple):
     :func:`stitch_tiles` reassembles the per-tile results.  The plan is a
     pure function of ``(kernel, inputs, length, tile, seed, kwargs)`` —
     executing its tasks in any order, on any pool, yields the same image.
+
+    ``scene`` is the transport accounting ticket
+    (:class:`repro.serve.transport.SceneTicket`): under shared-memory
+    transport its ``digest`` names the published scene the executing
+    side must ``release`` once the request resolves; in copy mode the
+    digest is ``None`` and ``bytes_shipped`` counts the copied inputs.
     """
 
     kernel: str
     shape: Tuple[int, int]
     grid: List[Tuple[int, int, int, int]]
     tasks: List[Tuple]
+    scene: Optional[Any] = None
 
 
-def build_tile_tasks(kernel: str, inputs: Dict[str, np.ndarray],
+def build_tile_tasks(kernel: str, inputs: Optional[Dict[str, np.ndarray]],
                      length: int, *, tile: int, seed: Optional[int] = 0,
                      engine_kwargs: Optional[Dict[str, Any]] = None,
                      kernel_kwargs: Optional[Dict[str, Any]] = None,
-                     backend: Optional[str] = None) -> TilePlan:
+                     backend: Optional[str] = None,
+                     scene_store: Optional[Any] = None,
+                     scene: Optional[str] = None) -> TilePlan:
     """Validate one tiled request and decompose it into per-tile tasks.
 
     This is the request-side half of :func:`run_tiled` (the other half is
@@ -236,31 +308,85 @@ def build_tile_tasks(kernel: str, inputs: Dict[str, np.ndarray],
     fails before anything is submitted.  ``backend`` overrides the
     process-active execution backend baked into the tasks — the threaded
     serving client uses it to capture its caller's backend at submit time.
+
+    Transport modes
+    ---------------
+    * Default (``scene_store=None``): every task carries copied tile
+      slices — self-contained and pickled to the workers.
+    * ``scene_store=`` (a :class:`repro.serve.transport.SceneStore`):
+      the inputs are published once into shared memory (content-addressed
+      — a repeated scene is a cache hit shipping zero bytes) and tasks
+      carry only tile *references*.  The returned plan's
+      ``scene.digest`` holds one store reference the caller must
+      ``release`` after the request resolves (the scheduler and
+      ``run_tiled`` both do).
+    * ``scene=`` (a digest string, requires ``scene_store``): build the
+      plan for an already-published scene without the arrays at all —
+      the ``put_scene`` handle path; ``inputs`` must then be ``None``.
+
+    Both transports produce bit-identical output: the worker-side tile
+    copy matches the parent-side ``.copy().ravel()`` exactly.
     """
     if kernel not in KERNELS:
         raise ValueError(f"unknown tile kernel {kernel!r}")
-    shapes = {v.shape for v in inputs.values()}
-    if len(shapes) != 1 or any(len(s) != 2 for s in shapes):
-        raise ValueError("tiled inputs must share one 2-D shape")
-    (height, width), = shapes
-    grid = tile_grid(height, width, tile)
-    children = np.random.SeedSequence(seed).spawn(len(grid))
-    backend_name = get_backend(backend).name
-    engine_kwargs = dict(engine_kwargs or {})
-    kernel_kwargs = dict(kernel_kwargs or {})
-    _validate_task_kwargs(kernel, list(inputs), engine_kwargs, kernel_kwargs)
-    # .copy(): full-width slices would otherwise ravel to *views* of the
-    # caller's buffer, and a plan can outlive this call (the async
-    # scheduler pickles tiles later) — a caller mutating its input after
-    # submit must not change what the workers compute.
-    tasks = [
-        (backend_name, kernel,
-         {name: arr[r0:r1, c0:c1].copy().ravel()
-          for name, arr in inputs.items()},
-         length, engine_kwargs, kernel_kwargs, children[i])
-        for i, (r0, r1, c0, c1) in enumerate(grid)
-    ]
-    return TilePlan(kernel, (height, width), grid, tasks)
+    ticket = None
+    if scene is not None:
+        if scene_store is None:
+            raise ValueError("scene= (a digest) requires scene_store=")
+        if inputs is not None:
+            raise ValueError("pass either inputs or scene=, not both")
+        fields, (height, width) = scene_store.checkout(scene)
+        from ..serve.transport import SceneTicket
+        ticket = SceneTicket(scene, True, 0)
+        input_names = [name for name, _, _, _ in fields]
+    else:
+        if inputs is None:
+            raise ValueError("inputs is required without scene=")
+        shapes = {v.shape for v in inputs.values()}
+        if len(shapes) != 1 or any(len(s) != 2 for s in shapes):
+            raise ValueError("tiled inputs must share one 2-D shape")
+        (height, width), = shapes
+        input_names = list(inputs)
+    try:
+        grid = tile_grid(height, width, tile)
+        children = np.random.SeedSequence(seed).spawn(len(grid))
+        backend_name = get_backend(backend).name
+        engine_kwargs = dict(engine_kwargs or {})
+        kernel_kwargs = dict(kernel_kwargs or {})
+        _validate_task_kwargs(kernel, input_names, engine_kwargs,
+                              kernel_kwargs)
+        if scene_store is not None:
+            if ticket is None:
+                ticket = scene_store.publish(inputs)
+            tasks = [
+                (backend_name, kernel,
+                 scene_store.tile_ref(ticket.digest, window),
+                 length, engine_kwargs, kernel_kwargs, children[i])
+                for i, window in enumerate(grid)
+            ]
+        else:
+            from ..serve.transport import SceneTicket
+            ticket = SceneTicket(
+                None, False, sum(int(a.nbytes) for a in inputs.values()))
+            # .copy(): full-width slices would otherwise ravel to *views*
+            # of the caller's buffer, and a plan can outlive this call
+            # (the async scheduler pickles tiles later) — a caller
+            # mutating its input after submit must not change what the
+            # workers compute.
+            tasks = [
+                (backend_name, kernel,
+                 {name: arr[r0:r1, c0:c1].copy().ravel()
+                  for name, arr in inputs.items()},
+                 length, engine_kwargs, kernel_kwargs, children[i])
+                for i, (r0, r1, c0, c1) in enumerate(grid)
+            ]
+    except BaseException:
+        # A rejected request must not strand the store reference taken by
+        # checkout() / publish() above.
+        if ticket is not None and ticket.digest is not None:
+            scene_store.release(ticket.digest)
+        raise
+    return TilePlan(kernel, (height, width), grid, tasks, ticket)
 
 
 def stitch_tiles(plan: TilePlan,
@@ -280,7 +406,8 @@ def run_tiled(kernel: str, inputs: Dict[str, np.ndarray], length: int, *,
               tile: int, jobs: int = 1, seed: Optional[int] = 0,
               engine_kwargs: Optional[Dict[str, Any]] = None,
               kernel_kwargs: Optional[Dict[str, Any]] = None,
-              pool: Optional[Any] = None, mp_context: Any = None
+              pool: Optional[Any] = None, mp_context: Any = None,
+              scene_store: Optional[Any] = None
               ) -> Tuple[np.ndarray, EnergyLedger]:
     """Run one application kernel over a tiled scene, optionally in parallel.
 
@@ -319,6 +446,13 @@ def run_tiled(kernel: str, inputs: Dict[str, np.ndarray], length: int, *,
         one-shot path.
     mp_context:
         Start method for the one-shot pool (see :func:`pool_map`).
+    scene_store:
+        Optional :class:`repro.serve.transport.SceneStore`: publish the
+        inputs into shared memory and hand the workers tile *references*
+        instead of copied slices (the serving layer's zero-copy
+        transport).  Copy mode — the default — remains bit-identical;
+        back-to-back calls over one store and one resident ``pool``
+        re-ship nothing for a repeated scene.
 
     Returns
     -------
@@ -328,7 +462,12 @@ def run_tiled(kernel: str, inputs: Dict[str, np.ndarray], length: int, *,
     """
     plan = build_tile_tasks(kernel, inputs, length, tile=tile, seed=seed,
                             engine_kwargs=engine_kwargs,
-                            kernel_kwargs=kernel_kwargs)
-    results = pool_map(_run_tile, plan.tasks, jobs, pool=pool,
-                       mp_context=mp_context)
+                            kernel_kwargs=kernel_kwargs,
+                            scene_store=scene_store)
+    try:
+        results = pool_map(_run_tile, plan.tasks, jobs, pool=pool,
+                           mp_context=mp_context)
+    finally:
+        if scene_store is not None and plan.scene is not None:
+            scene_store.release(plan.scene.digest)
     return stitch_tiles(plan, results)

@@ -10,7 +10,7 @@ Usage::
     python -m repro fig5
     python -m repro imsng
     python -m repro all
-    python -m repro serve --jobs N      # stdin/JSON request loop
+    python -m repro serve --jobs N [--transport shm|copy]
 
 Every target accepts ``--backend {unpacked,packed}`` to pick the
 bit-stream execution backend (default: the ``REPRO_BACKEND`` environment
@@ -177,6 +177,15 @@ def main(argv: Optional[List[str]] = None) -> int:
                         default=None,
                         help="bit-stream execution backend (overrides the "
                              "REPRO_BACKEND environment variable)")
+    parser.add_argument("--transport", choices=["shm", "copy"],
+                        default="shm",
+                        help="scene transport for 'serve': 'shm' ships "
+                             "each scene once through the content-"
+                             "addressed shared-memory store (tile tasks "
+                             "carry references; repeated scenes are "
+                             "zero-byte cache hits), 'copy' pickles tile "
+                             "slices per request; output is bit-identical "
+                             "either way")
     args = parser.parse_args(argv)
 
     if args.jobs < 1:
@@ -193,7 +202,9 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.target == "serve":
         from .serve import serve_stdio
-        return serve_stdio(jobs=args.jobs)
+        return serve_stdio(jobs=args.jobs, transport=args.transport)
+    if args.transport != "shm":
+        parser.error("--transport only applies to 'serve'")
 
     dispatch = {
         "table1": lambda: _print_table1(args),

@@ -166,10 +166,15 @@ class ExecutionBackend:
         semantics).  This is the primitive behind sparse fault-mask
         sampling: a handful of flip sites touch a handful of storage
         units instead of materialising a full-size Bernoulli mask.
-        Returns a new payload; ``data`` is never mutated.  The generic
-        default round-trips through the bit domain — backends override it
-        to scatter directly into their native layout.
+        Returns a new payload; ``data`` is never mutated.  An empty
+        ``flat_sites`` returns the payload unchanged (and uncopied) —
+        low-fault-rate Binomial draws hit zero sites on most tiles, and
+        the no-op must not pay a round-trip.  The generic default
+        round-trips through the bit domain — backends override it to
+        scatter directly into their native layout.
         """
+        if np.asarray(flat_sites).size == 0:
+            return data
         bits = np.array(self.unpack(data, length), dtype=np.uint8, copy=True)
         np.bitwise_xor.at(bits.reshape(-1), flat_sites, np.uint8(1))
         return self.pack(bits)
@@ -237,6 +242,8 @@ class UnpackedBackend(ExecutionBackend):
     def scatter_flip(self, data, flat_sites, length):
         # The payload *is* the bit array, so bit-domain flat indices are
         # payload flat indices.
+        if np.asarray(flat_sites).size == 0:
+            return data
         out = np.array(data, dtype=np.uint8, copy=True)
         np.bitwise_xor.at(out.reshape(-1), flat_sites, np.uint8(1))
         return out
@@ -351,6 +358,8 @@ class PackedBackend(ExecutionBackend):
         # position k, so viewing the uint64 words as bytes recovers the
         # packbits layout regardless of host endianness.  Flip sites are
         # always < length, so the canonical zero tail is preserved.
+        if np.asarray(flat_sites).size == 0:
+            return data
         out = np.array(data, dtype=np.uint64, copy=True)
         idx = np.asarray(flat_sites, dtype=np.int64)
         row, bit = np.divmod(idx, length)

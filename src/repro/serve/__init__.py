@@ -16,9 +16,16 @@ request, one throwaway pool), this package keeps a resident
   per request.
 * :class:`ServingClient` — blocking facade (background event loop) for
   scripts and benchmarks.
+* :class:`SceneStore` — content-addressed shared-memory scene transport
+  (:mod:`repro.serve.transport`): the default ``transport='shm'`` mode
+  publishes each request's input arrays once, workers attach lazily, and
+  tile tasks carry ``(digest, window)`` references instead of copied
+  arrays; ``put_scene`` handles let a client stream requests over the
+  same scene while shipping its bytes exactly once.
 * :func:`serve_stdio` — the line-delimited JSON request loop behind
   ``python -m repro serve --jobs N`` (strict RFC 8259 responses; a
-  ``{"type": "stats"}`` request returns the metrics snapshot).
+  ``{"type": "stats"}`` request returns the metrics snapshot;
+  ``put_scene``/``drop_scene`` manage scene handles).
 * :class:`ServeMetrics` — Prometheus-style serving metrics (per-request
   queue wait / exec time / latency percentiles, tiles dispatched, pool
   restarts, in-flight high-water marks); every scheduler carries one,
@@ -31,9 +38,11 @@ See ``examples/serving.py`` for an end-to-end tour,
 
 from .pool import BrokenProcessPool, WorkerPool, default_mp_context
 from .metrics import ServeMetrics
+from .transport import SceneStore
 from .scheduler import Scheduler
 from .client import ServingClient
 from .service import serve_stdio
 
 __all__ = ["WorkerPool", "BrokenProcessPool", "default_mp_context",
-           "ServeMetrics", "Scheduler", "ServingClient", "serve_stdio"]
+           "ServeMetrics", "SceneStore", "Scheduler", "ServingClient",
+           "serve_stdio"]

@@ -59,13 +59,20 @@ class ServingClient:
         Start every worker during construction instead of lazily on the
         first request (default True — serving wants cold-start paid at
         boot, not billed to the first caller).
+    transport:
+        Scene transport: ``'shm'`` (default) ships scenes once through
+        the content-addressed shared-memory store (repeated scenes are
+        zero-byte cache hits, and :meth:`put_scene` handles are
+        available); ``'copy'`` pickles tile slices per request.  Both
+        are bit-identical to ``run_tiled``.
     """
 
     def __init__(self, jobs: int = 2, *, mp_context: Any = None,
                  backend: Optional[str] = None,
                  pool: Optional[WorkerPool] = None,
                  max_inflight: Optional[int] = None,
-                 warmup: bool = True):
+                 warmup: bool = True,
+                 transport: str = "shm"):
         self._owns_pool = pool is None
         if pool is None and mp_context is None:
             mp_context = serving_mp_context()
@@ -74,7 +81,8 @@ class ServingClient:
         try:
             # validate before warming: a bad max_inflight must not leave
             # an orphaned, already-spawned worker fleet behind
-            self.scheduler = Scheduler(self.pool, max_inflight=max_inflight)
+            self.scheduler = Scheduler(self.pool, max_inflight=max_inflight,
+                                       transport=transport)
             if warmup:
                 self.pool.warmup()
         except BaseException:
@@ -93,11 +101,13 @@ class ServingClient:
     # ------------------------------------------------------------------
     # requests
     # ------------------------------------------------------------------
-    def submit(self, kernel: str, inputs: Dict[str, np.ndarray],
+    def submit(self, kernel: str,
+               inputs: Optional[Dict[str, np.ndarray]],
                length: int, *, tile: int, seed: Optional[int] = 0,
                engine_kwargs: Optional[Dict[str, Any]] = None,
                kernel_kwargs: Optional[Dict[str, Any]] = None,
-               backend: Optional[str] = None
+               backend: Optional[str] = None,
+               scene: Optional[str] = None
                ) -> "concurrent.futures.Future":
         """Enqueue one request; the future resolves to ``(image, ledger)``.
 
@@ -106,32 +116,56 @@ class ServingClient:
         process-global and the plan is built later on the loop thread, so
         without the snapshot a caller reusing/mutating a buffer or kwargs
         dict after ``submit`` returns would race the request build.
+        ``scene`` (a :meth:`put_scene` digest) replaces ``inputs`` — the
+        request then carries no arrays at all, so nothing is copied here
+        either.
         """
         if self._loop.is_closed():
             raise RuntimeError("ServingClient is closed")
         backend = backend if backend is not None else get_backend().name
-        inputs = {name: np.array(arr, copy=True)
-                  for name, arr in inputs.items()}
+        if scene is None:
+            inputs = {name: np.array(arr, copy=True)
+                      for name, arr in inputs.items()}
         engine_kwargs = dict(engine_kwargs) if engine_kwargs else None
         kernel_kwargs = dict(kernel_kwargs) if kernel_kwargs else None
         return asyncio.run_coroutine_threadsafe(
             self.scheduler.submit_app(
                 kernel, inputs, length, tile=tile, seed=seed,
                 engine_kwargs=engine_kwargs, kernel_kwargs=kernel_kwargs,
-                backend=backend),
+                backend=backend, scene=scene),
             self._loop)
 
-    def request(self, kernel: str, inputs: Dict[str, np.ndarray],
+    def request(self, kernel: str,
+                inputs: Optional[Dict[str, np.ndarray]],
                 length: int, *, tile: int, seed: Optional[int] = 0,
                 engine_kwargs: Optional[Dict[str, Any]] = None,
                 kernel_kwargs: Optional[Dict[str, Any]] = None,
-                backend: Optional[str] = None
+                backend: Optional[str] = None,
+                scene: Optional[str] = None
                 ) -> Tuple[np.ndarray, EnergyLedger]:
         """Blocking single request — submit and wait."""
         return self.submit(kernel, inputs, length, tile=tile, seed=seed,
                            engine_kwargs=engine_kwargs,
                            kernel_kwargs=kernel_kwargs,
-                           backend=backend).result()
+                           backend=backend, scene=scene).result()
+
+    def put_scene(self, inputs: Dict[str, np.ndarray]) -> str:
+        """Publish + pin a scene; returns the digest for ``submit(scene=)``.
+
+        The scene stays resident in the shared-memory store (exempt from
+        eviction) until :meth:`drop_scene`; repeated :meth:`submit` calls
+        against the handle ship zero scene bytes.  The store is
+        thread-safe, so this never hops onto the loop thread.
+        """
+        if self._loop.is_closed():
+            raise RuntimeError("ServingClient is closed")
+        return self.scheduler.put_scene(inputs)
+
+    def drop_scene(self, digest: str) -> None:
+        """Unpin a :meth:`put_scene` handle."""
+        if self._loop.is_closed():
+            raise RuntimeError("ServingClient is closed")
+        self.scheduler.drop_scene(digest)
 
     def stats(self) -> Dict[str, Any]:
         """Metrics snapshot (:meth:`repro.serve.scheduler.Scheduler.stats`).
@@ -166,6 +200,7 @@ class ServingClient:
             self._loop.call_soon_threadsafe(self._loop.stop)
             self._thread.join()
             self._loop.close()
+            self.scheduler.close()   # unlink scene-store shm segments
         if self._owns_pool and not self.pool.closed:
             self.pool.close()
 

@@ -21,6 +21,9 @@ Counted quantities
 ``tiles``      dispatched (one per ``dispatch_log`` entry — the test
                suite asserts the two agree), completed, in-flight + hwm.
 ``pool``       restarts (worker-death respawns by the scheduler).
+``scenes``     scene-cache hits/misses and scene bytes shipped across a
+               process boundary (zero for a shared-memory cache hit —
+               see :mod:`repro.serve.transport`).
 ``windows``    ``queue_wait_s`` (request admission to first tile
                dispatch), ``exec_s`` (first dispatch to completion) and
                ``latency_s`` (admission to completion, successful
@@ -148,6 +151,18 @@ class ServeMetrics:
         self.pool_restarts = Counter(
             "serve_pool_restarts_total",
             "Worker-pool respawns after a worker death broke the executor")
+        self.scene_hits = Counter(
+            "serve_scene_cache_hits_total",
+            "Requests whose scene was already resident in the "
+            "shared-memory scene store (zero scene bytes shipped)")
+        self.scene_misses = Counter(
+            "serve_scene_cache_misses_total",
+            "Requests whose scene had to be published (or, under copy "
+            "transport, copied and pickled) to the workers")
+        self.scene_bytes_shipped = Counter(
+            "serve_scene_bytes_shipped_total",
+            "Scene bytes that crossed a process boundary: full inputs "
+            "per copy-mode request or shm-store miss, zero on a hit")
         self.queue_wait_s = Window(
             "serve_queue_wait_seconds",
             "Request admission to first tile dispatch")
@@ -192,6 +207,11 @@ class ServeMetrics:
     def on_pool_restart(self) -> None:
         self.pool_restarts.inc()
 
+    def on_scene(self, hit: bool, bytes_shipped: int) -> None:
+        """One request's scene transport resolved (hit or shipped)."""
+        (self.scene_hits if hit else self.scene_misses).inc()
+        self.scene_bytes_shipped.inc(int(bytes_shipped))
+
     # ------------------------------------------------------------------
     # export
     # ------------------------------------------------------------------
@@ -216,6 +236,16 @@ class ServeMetrics:
                 "inflight_hwm": self.tiles_inflight.hwm,
             },
             "pool_restarts": self.pool_restarts.value,
+            "scene_cache": {
+                "hits": self.scene_hits.value,
+                "misses": self.scene_misses.value,
+                "hit_rate": (
+                    self.scene_hits.value
+                    / (self.scene_hits.value + self.scene_misses.value)
+                    if (self.scene_hits.value + self.scene_misses.value)
+                    else None),
+                "bytes_shipped": self.scene_bytes_shipped.value,
+            },
             "queue_wait_s": self.queue_wait_s.snapshot(),
             "exec_s": self.exec_s.snapshot(),
             "latency_s": self.latency_s.snapshot(),
@@ -226,7 +256,9 @@ class ServeMetrics:
         lines = []
         for c in (self.requests_admitted, self.requests_ok,
                   self.requests_failed, self.tiles_dispatched,
-                  self.tiles_completed, self.pool_restarts):
+                  self.tiles_completed, self.pool_restarts,
+                  self.scene_hits, self.scene_misses,
+                  self.scene_bytes_shipped):
             lines += [f"# HELP {c.name} {c.help}",
                       f"# TYPE {c.name} counter",
                       f"{c.name} {c.value}"]

@@ -29,6 +29,17 @@ Run request (``"type": "run"``, the default when ``type`` is omitted)::
   a silently ignored key (the pre-fix behaviour for ``backend``) means a
   client believes it pinned something it didn't.
 
+Scene handles (shared-memory transport, the default) let a client
+streaming many requests over the same inputs ship the arrays **once**:
+publish them with ``put_scene``, then pass the returned digest as
+``"scene"`` in run requests instead of ``"inputs"``, and drop the handle
+when done::
+
+    {"id": 3, "type": "put_scene", "inputs": {"image": [[...], ...]}}
+    {"id": 4, "kernel": "gamma_correct", "scene": "<digest>",
+     "length": 128, "tile": 8}
+    {"id": 5, "type": "drop_scene", "scene": "<digest>"}
+
 Stats request — a metrics snapshot of the scheduler/pool (see
 :mod:`repro.serve.metrics`), answered immediately, never queued behind
 compute::
@@ -41,6 +52,8 @@ Response objects::
      "energy_j": ..., "latency_s": ...}
     {"id": 1, "ok": true, ..., "nonfinite": 3}         # see below
     {"id": 2, "ok": true, "stats": {...}}              # stats request
+    {"id": 3, "ok": true, "scene": "<digest>"}         # put_scene
+    {"id": 5, "ok": true}                              # drop_scene
     {"id": 1, "ok": false, "error": "..."}             # on failure
 
 Responses are **strict RFC 8259**: every ``json.dumps`` here runs with
@@ -74,7 +87,7 @@ __all__ = ["serve_stdio", "decode_request", "encode_response",
 #: Every key a run request may carry; anything else is rejected by name.
 REQUEST_KEYS = frozenset({
     "id", "type", "kernel", "inputs", "length", "tile", "seed",
-    "engine_kwargs", "kernel_kwargs", "backend",
+    "engine_kwargs", "kernel_kwargs", "backend", "scene",
 })
 
 
@@ -95,7 +108,14 @@ def decode_request(raw: Dict[str, Any]) -> Dict[str, Any]:
         raise ValueError(
             f"unknown request key(s): {', '.join(map(repr, unknown))}; "
             f"valid keys: {', '.join(sorted(REQUEST_KEYS))}")
-    for key in ("kernel", "inputs", "length", "tile"):
+    scene = raw.get("scene")
+    if scene is not None and not isinstance(scene, str):
+        raise ValueError(f"scene must be a digest string, got {scene!r}")
+    if scene is not None and "inputs" in raw:
+        raise ValueError("pass either 'inputs' or 'scene', not both")
+    required = ("kernel", "length", "tile") if scene is not None \
+        else ("kernel", "inputs", "length", "tile")
+    for key in required:
         if key not in raw:
             raise ValueError(f"request is missing {key!r}")
     seed = raw.get("seed", 0)
@@ -106,8 +126,9 @@ def decode_request(raw: Dict[str, Any]) -> Dict[str, Any]:
     backend = raw.get("backend")
     if backend is not None and not isinstance(backend, str):
         raise ValueError(f"backend must be a string, got {backend!r}")
-    inputs = {name: np.asarray(arr, dtype=np.float64)
-              for name, arr in raw["inputs"].items()}
+    inputs = None if scene is not None else {
+        name: np.asarray(arr, dtype=np.float64)
+        for name, arr in raw["inputs"].items()}
     engine_kwargs = dict(raw.get("engine_kwargs") or {})
     rates = engine_kwargs.get("fault_rates")
     if isinstance(rates, dict):
@@ -126,6 +147,7 @@ def decode_request(raw: Dict[str, Any]) -> Dict[str, Any]:
         "engine_kwargs": engine_kwargs,
         "kernel_kwargs": raw.get("kernel_kwargs") or {},
         "backend": backend,
+        "scene": scene,
     }
 
 
@@ -177,7 +199,8 @@ def serve_stdio(in_stream: Optional[TextIO] = None,
                 out_stream: Optional[TextIO] = None, *,
                 jobs: int = 2, mp_context: Any = None,
                 backend: Optional[str] = None,
-                max_pending: int = 64) -> int:
+                max_pending: int = 64,
+                transport: str = "shm") -> int:
     """Run the serving loop until EOF on ``in_stream``; returns 0.
 
     ``jobs`` sizes the resident pool, ``mp_context``/``backend`` pin its
@@ -189,6 +212,9 @@ def serve_stdio(in_stream: Optional[TextIO] = None,
     admitted-but-unfinished requests: each one holds its decoded tile
     plan in memory, so past the bound the loop stops reading stdin until
     a response goes out (backpressure instead of unbounded growth).
+    ``transport`` picks the scene transport (``'shm'`` zero-copy
+    shared-memory store with scene handles, or ``'copy'`` pickled tile
+    slices); both are bit-identical to ``run_tiled``.
     """
     if max_pending < 1:
         raise ValueError("max_pending must be >= 1")
@@ -227,9 +253,35 @@ def serve_stdio(in_stream: Optional[TextIO] = None,
                     # immediately, never queued behind compute.
                     await respond(encode_stats(req_id, scheduler.stats()))
                     return
+                if rtype == "put_scene":
+                    extra = sorted(set(raw) - {"id", "type", "inputs"})
+                    if extra:
+                        raise ValueError(
+                            f"unknown put_scene key(s): "
+                            f"{', '.join(map(repr, extra))}")
+                    if "inputs" not in raw:
+                        raise ValueError("put_scene is missing 'inputs'")
+                    inputs = {name: np.asarray(arr, dtype=np.float64)
+                              for name, arr in raw["inputs"].items()}
+                    digest = scheduler.put_scene(inputs)
+                    await respond(json.dumps(
+                        {"id": req_id, "ok": True, "scene": digest},
+                        allow_nan=False))
+                    return
+                if rtype == "drop_scene":
+                    scene = raw.get("scene")
+                    if not isinstance(scene, str):
+                        raise ValueError(
+                            f"drop_scene needs a 'scene' digest string, "
+                            f"got {scene!r}")
+                    scheduler.drop_scene(scene)
+                    await respond(json.dumps({"id": req_id, "ok": True},
+                                             allow_nan=False))
+                    return
                 if rtype != "run":
-                    raise ValueError(f"unknown request type {rtype!r}; "
-                                     f"expected 'run' or 'stats'")
+                    raise ValueError(
+                        f"unknown request type {rtype!r}; expected 'run', "
+                        f"'stats', 'put_scene' or 'drop_scene'")
                 request = decode_request(raw)
                 image, ledger = await scheduler.submit_app(**request)
             except Exception as exc:  # answer, don't kill the loop
@@ -237,7 +289,7 @@ def serve_stdio(in_stream: Optional[TextIO] = None,
             else:
                 await respond(encode_response(req_id, image, ledger))
 
-        scheduler = Scheduler(pool)
+        scheduler = Scheduler(pool, transport=transport)
         while True:
             line = await loop.run_in_executor(None, in_stream.readline)
             if not line:
@@ -253,6 +305,7 @@ def serve_stdio(in_stream: Optional[TextIO] = None,
         if outstanding:
             await asyncio.gather(*outstanding)
         await scheduler.drain()
+        scheduler.close()   # unlink the scene store's shm segments
 
     # Start the workers (and the forkserver) before any other thread
     # exists — boot, not the first request, pays worker cold-start, and
