@@ -6,11 +6,22 @@
 PYTHON ?= python
 PYTEST = PYTHONPATH=src $(PYTHON) -m pytest
 
-.PHONY: test test-unpacked test-packed test-faulty test-serving \
+.PHONY: test lint test-unpacked test-packed test-faulty test-serving \
 	bench-smoke serve-smoke bench-backend bench-apps bench-faults \
 	bench-serve bench-serve-load bench-serve-soak bench-transport bench
 
-test: test-unpacked test-packed bench-smoke serve-smoke
+test: lint test-unpacked test-packed bench-smoke serve-smoke
+
+# Lint gate: ruff (version-pinned + configured in pyproject.toml) when
+# it is installed, otherwise the dependency-free stdlib checker in
+# tools/lint.py — same rule set either way, so CI and the hermetic
+# container agree.
+lint:
+	@if command -v ruff >/dev/null 2>&1; then \
+		echo "ruff check"; ruff check .; \
+	else \
+		$(PYTHON) tools/lint.py; \
+	fi
 
 test-unpacked:
 	REPRO_BACKEND=unpacked $(PYTEST) -x -q

@@ -1,6 +1,5 @@
 """Ablation: fault-rate sensitivity — device spread -> error rate -> quality."""
 
-import numpy as np
 from conftest import emit
 
 from repro.analysis.tables import render_table

@@ -1,7 +1,6 @@
 """Ablation: IMSNG-naive vs IMSNG-opt, and segment size M sensitivity."""
 
 import numpy as np
-import pytest
 from conftest import emit
 
 from repro.analysis.tables import render_table

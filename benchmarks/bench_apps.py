@@ -28,6 +28,7 @@ import pathlib
 import time
 
 from repro.apps import run_app
+from repro.config import RunConfig
 from repro.core.backend import use_backend
 from repro.report import write_bench_record
 
@@ -148,7 +149,12 @@ def main() -> int:
                                "repeats": args.repeats,
                                "faulty": args.faulty, "apps": args.apps},
                        results={"best_speedup": best_speedup(result),
-                                "apps": result["apps"]})
+                                "apps": result["apps"]},
+                       # resolved config of the headline (packed+sharded)
+                       # configuration the guard asserts on
+                       run_config=RunConfig.fast(
+                           backend="packed", tile=args.tile,
+                           jobs=args.jobs))
     print(f"bench record -> {path}")
     return 0
 

@@ -23,6 +23,7 @@ import time
 
 import numpy as np
 
+from repro.config import RunConfig
 from repro.core import ops as scops
 from repro.core.backend import use_backend
 from repro.core.bitstream import Bitstream
@@ -114,7 +115,9 @@ def main() -> int:
                        config={"length": args.length, "batch": args.batch,
                                "repeats": args.repeats},
                        results={"speedup": result["speedup"],
-                                "backends": result["backends"]})
+                                "backends": result["backends"]},
+                       # headline side of the comparison: the packed backend
+                       run_config=RunConfig.fast(backend="packed"))
     print(f"bench record -> {path}")
     return 0
 

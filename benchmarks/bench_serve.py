@@ -30,6 +30,7 @@ import numpy as np
 
 from repro.apps.executor import run_tiled
 from repro.apps.filters import gamma_correct_inputs
+from repro.config import RunConfig
 from repro.apps.images import natural_scene
 from repro.core.backend import use_backend
 from repro.report import write_bench_record
@@ -137,7 +138,10 @@ def main() -> int:
                                "jobs": args.jobs, "backend": args.backend,
                                "min_speedup": args.min_speedup},
                        results={"seconds": result["seconds"],
-                                "speedup": result["speedup"]})
+                                "speedup": result["speedup"]},
+                       run_config=RunConfig.fast(backend=args.backend,
+                                                 tile=args.tile,
+                                                 jobs=args.jobs))
     print(f"bench record -> {path}")
     if result["speedup"]["resident"] < args.min_speedup:
         print(f"FAIL: resident-pool speedup "

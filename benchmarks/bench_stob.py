@@ -26,6 +26,7 @@ import time
 
 import numpy as np
 
+from repro.config import RunConfig
 from repro.core.backend import use_backend
 from repro.core.bitstream import Bitstream
 from repro.imsc.stob import CELL_MODELS, InMemoryStoB
@@ -114,7 +115,9 @@ def main() -> int:
                                "repeats": args.repeats,
                                "min_speedup": args.min_speedup},
                        results={"speedup": result["speedup"],
-                                "models": result["models"]})
+                                "models": result["models"]},
+                       # headline side of the comparison: column S-to-B
+                       run_config=RunConfig.fast(cell_model="column"))
     print(f"bench record -> {path}")
     if args.min_speedup and result["speedup"] < args.min_speedup:
         print(f"FAIL: speedup {result['speedup']:.1f}x below the "

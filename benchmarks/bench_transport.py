@@ -36,13 +36,13 @@ Run standalone (e.g. the Makefile smoke/acceptance targets)::
 import argparse
 import multiprocessing
 import pathlib
-import sys
 import time
 
 import numpy as np
 
 from repro.apps.executor import KERNELS, run_tiled
 from repro.apps.images import natural_scene
+from repro.config import RunConfig
 from repro.core.backend import use_backend
 from repro.report import write_bench_record
 from repro.serve import ServingClient
@@ -187,7 +187,11 @@ def main() -> int:
                            "speedup": r["speedup"],
                            "scene_bytes": r["scene_bytes"],
                            "scene_cache": r["scene_cache"]}
-                           for backend, r in results.items()})
+                           for backend, r in results.items()},
+                       # headline side of the comparison: shm transport
+                       run_config=RunConfig.fast(transport="shm",
+                                                 tile=args.tile,
+                                                 jobs=args.jobs))
     print(f"bench record -> {path}")
     failed = {backend: r["speedup"] for backend, r in results.items()
               if r["speedup"] < args.min_speedup}

@@ -7,7 +7,6 @@ runners accept larger counts for paper-grade statistics.
 """
 
 import pathlib
-import sys
 
 import pytest
 

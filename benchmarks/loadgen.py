@@ -57,6 +57,7 @@ import time
 import numpy as np
 
 from repro.apps.executor import run_tiled
+from repro.config import RunConfig
 from repro.apps.filters import (
     contrast_stretch_inputs,
     gamma_correct_inputs,
@@ -440,7 +441,10 @@ def main() -> int:
               "big": args.big, "length": args.length, "tile": args.tile,
               "soak": args.soak, "kill_worker": kill_worker,
               "templates": [t["name"] for t in templates]}
-    write_bench_record(args.json, "serve", config, results)
+    write_bench_record(args.json, "serve", config, results,
+                       run_config=RunConfig.fast(transport=args.transport,
+                                                 tile=args.tile,
+                                                 jobs=args.jobs))
     print(f"bench record -> {args.json}")
 
     if results["incorrect"]:

@@ -146,17 +146,34 @@ def main() -> int:
 
     # Machine-readable trajectory: every BENCH_*.json at the root must be
     # schema-valid — a malformed record poisons every future re-anchor
-    # that reads the trajectory, so it fails the whole run.
+    # that reads the trajectory, so it fails the whole run.  Two records
+    # reporting different resolved run configs under the same benchmark
+    # name would make speedups incomparable across the trajectory, so
+    # that fails the run too.
     records = sorted(ROOT.glob("BENCH_*.json"))
+    configs_by_bench = {}
     for path in records:
         try:
             record = load_bench_record(path)
         except ValueError as exc:
             print(f"MALFORMED bench record {path.name}: {exc}")
             failures.append(f"bench record {path.name}")
-        else:
-            print(f"bench record ok: {path.name} "
-                  f"(bench={record['bench']}, utc={record['utc']})")
+            continue
+        print(f"bench record ok: {path.name} "
+              f"(bench={record['bench']}, utc={record['utc']})")
+        run_config = record.get("run_config")
+        if run_config is None:
+            continue
+        seen = configs_by_bench.setdefault(record["bench"],
+                                           (path.name, run_config))
+        if seen[1] != run_config:
+            print(f"CONFLICTING bench records for "
+                  f"bench={record['bench']!r}: {seen[0]} and "
+                  f"{path.name} report different resolved run "
+                  f"configs:\n  {seen[0]}: {seen[1]}\n"
+                  f"  {path.name}: {run_config}")
+            failures.append(f"bench record {path.name} (run_config "
+                            f"conflicts with {seen[0]})")
     if not records:
         print("MALFORMED bench trajectory: no BENCH_*.json written")
         failures.append("bench records missing")

@@ -10,7 +10,7 @@ Run:  python examples/fault_tolerance.py
 
 from repro.analysis.tables import render_table
 from repro.apps import run_app
-from repro.reram.faults import DEFAULT_FAULT_RATES, derive_fault_rates
+from repro.reram.faults import derive_fault_rates
 from repro.reram.device import DeviceParams
 
 

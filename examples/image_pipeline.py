@@ -9,7 +9,6 @@ Composites a synthetic scene, up-scales it and recovers the alpha matte on:
 Run:  python examples/image_pipeline.py
 """
 
-import numpy as np
 
 from repro.apps import run_app
 from repro.analysis.tables import render_table

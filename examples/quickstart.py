@@ -7,7 +7,6 @@ on the in-memory (ReRAM) engine with its cost ledger.
 Run:  python examples/quickstart.py
 """
 
-import numpy as np
 
 from repro.core import ComparatorSng, SoftwareRng, ops, scc
 from repro.imsc import InMemorySCEngine

@@ -1,11 +1,18 @@
 """Serving mixed SC requests on a resident worker pool.
 
-A tour of :mod:`repro.serve`: one :class:`~repro.serve.ServingClient`
-(resident worker pool + asyncio scheduler on a background thread) takes a
-burst of *different* requests — applications and filters, mixed stream
-lengths, fault-free and faulty engines — lets their tiles interleave fair
-round-robin on the shared workers, and proves every response bit-identical
-to the classic batch path ``run_tiled(jobs=1)``.
+A tour of :mod:`repro.serve` in two acts:
+
+1. **Mixed burst** — one :class:`~repro.serve.ServingClient` (resident
+   worker pool + asyncio scheduler on a background thread) takes a burst
+   of *different* requests — applications and filters, mixed stream
+   lengths, fault-free and faulty engines — lets their tiles interleave
+   fair round-robin on the shared workers, and proves every response
+   bit-identical to the classic batch path ``run_tiled(jobs=1)``.
+2. **Scene handles** — the same scene queried repeatedly is published
+   *once* into the shared-memory scene store (:meth:`put_scene`); every
+   follow-up request carries only the digest (``scene=``), ships zero
+   scene bytes, and stays bit-identical.  :meth:`drop_scene` releases
+   the pin when the caller is done.
 
 Run:  PYTHONPATH=src python examples/serving.py
 """
@@ -47,9 +54,8 @@ def build_requests():
     ]
 
 
-def main() -> None:
-    requests = build_requests()
-
+def mixed_burst(client: ServingClient, requests) -> None:
+    """Act 1: heterogeneous requests in flight at once, all bit-identical."""
     # Reference: each request through the classic batch path, alone.
     refs = {}
     t0 = time.perf_counter()
@@ -57,21 +63,19 @@ def main() -> None:
         refs[name] = run_tiled(kernel, inputs, length, jobs=1, **kw)
     t_batch = time.perf_counter() - t0
 
-    # Served: all requests in flight at once on one resident pool.
     rows = []
-    with ServingClient(jobs=4) as client:
-        t0 = time.perf_counter()
-        futures = [(name, client.submit(kernel, inputs, length, **kw))
-                   for name, kernel, inputs, length, kw in requests]
-        for name, fut in futures:
-            image, ledger = fut.result()
-            ref_image, ref_ledger = refs[name]
-            identical = np.array_equal(image, ref_image)
-            rows.append([name, image.shape[0] * image.shape[1],
-                         f"{ledger.energy_j * 1e9:.1f}",
-                         "yes" if identical else "NO"])
-            assert identical, f"served {name!r} diverged from run_tiled"
-        t_served = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    futures = [(name, client.submit(kernel, inputs, length, **kw))
+               for name, kernel, inputs, length, kw in requests]
+    for name, fut in futures:
+        image, ledger = fut.result()
+        ref_image, ref_ledger = refs[name]
+        identical = np.array_equal(image, ref_image)
+        rows.append([name, image.shape[0] * image.shape[1],
+                     f"{ledger.energy_j * 1e9:.1f}",
+                     "yes" if identical else "NO"])
+        assert identical, f"served {name!r} diverged from run_tiled"
+    t_served = time.perf_counter() - t0
 
     print(render_table(
         ["request", "pixels", "energy (nJ)", "== run_tiled(jobs=1)"], rows,
@@ -79,6 +83,48 @@ def main() -> None:
     print(f"\nsequential batch: {t_batch * 1e3:7.1f} ms"
           f"\nserved burst:     {t_served * 1e3:7.1f} ms"
           f"  ({len(requests)} requests interleaved, bit-identical)")
+
+
+def scene_handle_tour(client: ServingClient) -> None:
+    """Act 2: publish a scene once, query it many times by digest."""
+    inputs = gamma_correct_inputs(natural_scene(32, 32,
+                                                np.random.default_rng(7)))
+    before = client.stats()["scene_cache"]
+
+    # One publish pins the scene in the shared-memory store...
+    digest = client.put_scene(inputs)
+    try:
+        # ...and every request after it ships the digest, not the arrays
+        # (inputs=None): five gamma sweeps over the same 32x32 scene move
+        # the scene bytes across the process boundary exactly once.
+        futures = [(gamma,
+                    client.submit("gamma_correct", None, 64, tile=8,
+                                  seed=11, scene=digest,
+                                  kernel_kwargs={"gamma": gamma}))
+                   for gamma in (0.25, 0.45, 0.7, 1.0, 1.6)]
+        for gamma, fut in futures:
+            image, _ = fut.result()
+            ref_image, _ = run_tiled("gamma_correct", inputs, 64, tile=8,
+                                     jobs=1, seed=11,
+                                     kernel_kwargs={"gamma": gamma})
+            assert np.array_equal(image, ref_image), \
+                f"scene-handle gamma={gamma} diverged from run_tiled"
+    finally:
+        client.drop_scene(digest)   # unpin; the store may now evict it
+
+    after = client.stats()["scene_cache"]
+    shipped = after["bytes_shipped"] - before["bytes_shipped"]
+    hits = after["hits"] - before["hits"]
+    print(f"\nscene handle {digest[:12]}...: {len(futures)} requests, "
+          f"{hits} scene-cache hits, {shipped} scene bytes shipped "
+          f"(the {inputs['image'].nbytes}-byte scene was published once)")
+    assert shipped == 0, "requests against a pinned handle ship no bytes"
+
+
+def main() -> None:
+    with ServingClient(jobs=4) as client:
+        mixed_burst(client, build_requests())
+        scene_handle_tour(client)
 
 
 if __name__ == "__main__":

@@ -22,8 +22,15 @@ A full Python reproduction of the paper's system:
   (``python -m repro serve``);
 * :mod:`repro.analysis` — runners that regenerate every table and figure of
   the paper's evaluation.
+
+How to run is described by one frozen :class:`repro.config.RunConfig`
+threaded through every layer.  The package default is the **fast preset**
+(``RunConfig.fast()``: packed backend, column S-to-B, sparse fault masks,
+shm transport); the paper-faithful oracles stay one preset away as
+``RunConfig.oracle()``.
 """
 
+from .config import RunConfig
 from .core import (
     Bitstream,
     ComparatorSng,
@@ -41,6 +48,7 @@ __version__ = "1.0.0"
 __all__ = [
     "Bitstream",
     "ComparatorSng",
+    "RunConfig",
     "Lfsr",
     "ScFlow",
     "SegmentSng",

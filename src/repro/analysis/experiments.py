@@ -13,20 +13,15 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..bincim.design import BINARY_OP_CYCLES, BinaryCimDesign
+from ..bincim.design import BINARY_OP_CYCLES
 from ..cmos.design import CmosScDesign
-from ..core.accuracy import OP_SPECS, op_mse, sng_mse
+from ..config import RunConfig
+from ..core.accuracy import op_mse, sng_mse
 from ..core.rng import Lfsr, SobolRng, SoftwareRng
-from ..core.sng import BiasedBitSource, ComparatorSng, SegmentSng
+from ..core.sng import ComparatorSng, SegmentSng
 from ..energy.model import EnergyLedger
-from ..energy.params import (
-    DEFAULT_RERAM_COSTS,
-    DEFAULT_TRANSFER_COSTS,
-    ReRamStepCosts,
-    TransferCosts,
-)
-from ..imsc.cost import imsng_conversion_cost, sc_op_cost, stob_cost
-from ..imsc.engine import InMemorySCEngine
+from ..energy.params import DEFAULT_RERAM_COSTS, ReRamStepCosts
+from ..imsc.cost import imsng_conversion_cost, stob_cost
 from ..apps.pipeline import run_app
 from ..reram.trng import ReRamTrng
 
@@ -197,32 +192,45 @@ def table3_hw_cost(length: int = 256) -> Dict[str, Dict[str, Dict[str, float]]]:
 # ---------------------------------------------------------------------------
 def table4_quality(lengths: Sequence[int] = TABLE4_LENGTHS,
                    runs: int = 3, size: int = 32,
-                   seed: int = 0, jobs: int = 1,
+                   seed: Optional[int] = None, jobs: Optional[int] = None,
                    tile: Optional[int] = None,
-                   cell_model: str = "per-bit",
-                   fault_sampling: str = "dense"
+                   cell_model: Optional[str] = None,
+                   fault_sampling: Optional[str] = None,
+                   config: Optional[RunConfig] = None
                    ) -> Dict[str, Dict[str, Tuple[float, float]]]:
     """SSIM(%)/PSNR(dB) grid of Table IV.
 
     Returns ``result[row][app] = (ssim_pct, psnr_db)`` with rows
     ``Binary CIM [faulty|ideal]`` and ``SC N=<n> [faulty|ideal]``, averaged
-    over ``runs`` scenes/fault samples.  ``jobs``/``tile`` shard the SC
-    runs through the tile executor (see :mod:`repro.apps.executor`),
-    ``cell_model`` selects the S-to-B device model ('per-bit' oracle or
-    the batched 'column' readout) and ``fault_sampling`` the fault-mask
-    model for the faulty SC rows ('dense' bit-exact oracle or the
-    statistically conformant 'sparse' Binomial scatter); the binary/float
-    backends always run whole-image.
+    over ``runs`` scenes/fault samples.  ``config`` (default
+    ``RunConfig.default()`` — the fast preset) supplies every axis left
+    ``None``: ``jobs``/``tile`` shard the SC runs through the tile
+    executor (see :mod:`repro.apps.executor`), ``cell_model`` selects the
+    S-to-B device model ('per-bit' oracle or the batched 'column'
+    readout) and ``fault_sampling`` the fault-mask model for the faulty
+    SC rows ('dense' bit-exact oracle or the statistically conformant
+    'sparse' Binomial scatter); the binary/float backends always run
+    whole-image.  ``config=RunConfig.oracle()`` reproduces the
+    paper-faithful per-bit/dense grid.
     """
+    cfg = RunConfig.resolve(config)
+    if seed is None:
+        seed = cfg.seed
+    # run_app re-resolves None/absent axes from the config; only the
+    # explicitly overridden ones are forwarded as kwargs.
+    shard_overrides = {k: v for k, v in
+                       (("jobs", jobs), ("tile", tile),
+                        ("cell_model", cell_model),
+                        ("fault_sampling", fault_sampling))
+                       if v is not None}
+
     def avg(app: str, backend: str, length: int, faulty: bool
             ) -> Tuple[float, float]:
         ssims, psnrs = [], []
-        shard = ({"jobs": jobs, "tile": tile, "cell_model": cell_model,
-                  "fault_sampling": fault_sampling}
-                 if backend == "sc" else {})
+        shard = dict(shard_overrides) if backend == "sc" else {}
         for r in range(runs):
             res = run_app(app, backend, length=length, faulty=faulty,
-                          size=size, seed=seed + r, **shard)
+                          size=size, seed=seed + r, config=cfg, **shard)
             ssims.append(res.ssim_pct)
             psnrs.append(res.psnr_db)
         return float(np.mean(ssims)), float(np.mean(psnrs))

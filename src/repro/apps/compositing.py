@@ -22,7 +22,6 @@ Three implementations:
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 

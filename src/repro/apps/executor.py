@@ -43,12 +43,17 @@ determinism contract above.
 Beyond the three evaluation applications, :data:`KERNELS` registers the
 four SC image filters of :mod:`repro.apps.filters`; filter-specific
 parameters (``gamma``, ``lo``/``hi``, ...) travel via ``kernel_kwargs``.
+
+Every entry point here takes one :class:`repro.config.RunConfig`
+(``config=``) in place of the historical kwarg fan; per-field kwargs
+remain as overrides, and with neither the fast preset
+(packed + column + sparse) applies.  Request validation lives behind
+:func:`repro.config.validate_task_kwargs` / ``RunConfig.validate_for`` —
+this module re-exports the old underscore names as aliases.
 """
 
 from __future__ import annotations
 
-import inspect
-from functools import lru_cache
 from typing import (
     Any,
     Callable,
@@ -62,6 +67,14 @@ from typing import (
 
 import numpy as np
 
+from ..config import (
+    RunConfig,
+    _ENGINE_PROBE_CACHE as _ENGINE_PROBE_CACHE,
+    _engine_param_names as _engine_param_names,
+    _kernel_sig_info as _kernel_sig_info,
+    _probe_engine_kwargs as _probe_engine_kwargs,
+    validate_task_kwargs,
+)
 from ..core.backend import get_backend, set_backend
 from ..energy.model import EnergyLedger
 from ..imsc.engine import InMemorySCEngine
@@ -106,8 +119,9 @@ def tile_grid(height: int, width: int,
 
 
 def pool_map(fn: Callable[[Any], Any], tasks: Sequence[Any],
-             jobs: int = 1, *, pool: Optional[Any] = None,
-             mp_context: Any = None) -> List[Any]:
+             jobs: Optional[int] = None, *, pool: Optional[Any] = None,
+             mp_context: Any = None,
+             config: Optional[RunConfig] = None) -> List[Any]:
     """Deterministic map over picklable tasks, fanned over ``jobs`` workers.
 
     ``jobs=1`` runs in-process (no pool, identical results); results are
@@ -123,10 +137,19 @@ def pool_map(fn: Callable[[Any], Any], tasks: Sequence[Any],
     of the one-shot pool (name, context object, or ``None`` for the
     pinned platform default — see :mod:`repro.serve.pool`); results are
     bit-identical either way because tasks are self-contained.
+
+    ``config=`` (a :class:`repro.config.RunConfig`) supplies ``jobs`` and
+    ``mp_context`` when the explicit arguments are left ``None``; the
+    explicit arguments always win.
     """
+    cfg = RunConfig.resolve(config)
+    if jobs is None:
+        jobs = cfg.jobs
+    if mp_context is None:
+        mp_context = cfg.mp_context
     if pool is not None:
         return pool.map(fn, tasks)
-    if jobs < 1:
+    if not isinstance(jobs, int) or isinstance(jobs, bool) or jobs < 1:
         raise ValueError("jobs must be >= 1")
     workers = min(jobs, len(tasks))
     if workers <= 1:
@@ -136,111 +159,14 @@ def pool_map(fn: Callable[[Any], Any], tasks: Sequence[Any],
         return one_shot.map(fn, tasks)
 
 
-@lru_cache(maxsize=1)
-def _engine_param_names() -> frozenset:
-    """Constructor kwargs of :class:`InMemorySCEngine`, introspected once."""
-    return frozenset(
-        inspect.signature(InMemorySCEngine.__init__).parameters) - {"self"}
-
-
-@lru_cache(maxsize=256)
-def _kernel_sig_info(fn: Callable) -> Tuple[bool, frozenset, frozenset]:
-    """``(has_var_keyword, param_names, required_names)`` for one kernel.
-
-    Keyed on the function object (not the registry name) so re-binding a
-    name in :data:`KERNELS` — the test suite does — can never serve a
-    stale signature.
-    """
-    sig = inspect.signature(fn)
-    has_var_kw = any(p.kind is inspect.Parameter.VAR_KEYWORD
-                     for p in sig.parameters.values())
-    params = frozenset(sig.parameters) - {"engine", "length"}
-    required = frozenset(
-        name for name, p in sig.parameters.items()
-        if name not in ("engine", "length")
-        and p.default is inspect.Parameter.empty
-        and p.kind in (inspect.Parameter.POSITIONAL_OR_KEYWORD,
-                       inspect.Parameter.KEYWORD_ONLY))
-    return has_var_kw, params, required
-
-
-#: Engine-kwarg combinations already probed OK (a throwaway engine was
-#: constructed without raising).  Serving hot path: re-probing the same
-#: frozen kwargs on every request would rebuild an engine per request.
-_ENGINE_PROBE_CACHE: set = set()
-_ENGINE_PROBE_CACHE_MAX = 1024
-
-
-def _probe_engine_kwargs(engine_kwargs: Dict[str, Any]) -> None:
-    """Reject bad engine kwarg *values* with the engine's own message.
-
-    Constructing a throwaway engine (no stream state) validates values
-    like ``fault_sampling``; combinations that pass are remembered (keyed
-    on the frozen kwargs) so repeated requests skip the probe.  Failures
-    are never cached, and unhashable values fall back to probing every
-    time.
-    """
-    try:
-        key = tuple(sorted(engine_kwargs.items()))
-        hash(key)
-    except TypeError:
-        key = None
-    if key is not None and key in _ENGINE_PROBE_CACHE:
-        return
-    InMemorySCEngine(**engine_kwargs)
-    if key is not None:
-        if len(_ENGINE_PROBE_CACHE) >= _ENGINE_PROBE_CACHE_MAX:
-            _ENGINE_PROBE_CACHE.clear()
-        _ENGINE_PROBE_CACHE.add(key)
-
-
-def _validate_task_kwargs(kernel: str, input_names: Sequence[str],
-                          engine_kwargs: Dict[str, Any],
-                          kernel_kwargs: Dict[str, Any]) -> None:
-    """Fail fast, in the parent, on kwargs the workers would choke on.
-
-    A bad key would otherwise surface only inside a worker process as an
-    opaque pickled ``TypeError``; checking against the engine constructor
-    and the kernel signature here names the offending key directly.
-    Engine kwarg *values* are probed too (:func:`_probe_engine_kwargs`).
-    All introspection is cached — this runs once per served request, and
-    re-running ``inspect.signature`` plus an engine construction per
-    request was measurable in the serving hot path.
-    """
-    engine_params = _engine_param_names()
-    for key in engine_kwargs:
-        if key == "rng":
-            raise ValueError("engine_kwargs must not contain 'rng': each "
-                             "tile engine derives its generator from the "
-                             "per-tile SeedSequence child")
-        if key not in engine_params:
-            raise ValueError(
-                f"unknown engine kwarg {key!r}; valid keys: "
-                f"{', '.join(sorted(engine_params - {'rng'}))}")
-    _probe_engine_kwargs(engine_kwargs)
-    reserved = set(input_names)
-    for key in kernel_kwargs:
-        if key in reserved:
-            raise ValueError(f"kernel kwarg {key!r} collides with a tiled "
-                             f"input array of the same name")
-    has_var_kw, kernel_params, required = _kernel_sig_info(KERNELS[kernel])
-    if has_var_kw:
-        return
-    for key in input_names:
-        if key not in kernel_params:
-            raise ValueError(
-                f"unknown input {key!r} for kernel {kernel!r}; expected "
-                f"arrays named from: {', '.join(sorted(kernel_params))}")
-    for key in kernel_kwargs:
-        if key not in kernel_params:
-            raise ValueError(
-                f"unknown kwarg {key!r} for kernel {kernel!r}; valid keys: "
-                f"{', '.join(sorted(kernel_params - reserved)) or '(none)'}")
-    missing = required - reserved - set(kernel_kwargs)
-    if missing:
-        raise ValueError(
-            f"kernel {kernel!r} is missing required input array(s): "
-            f"{', '.join(sorted(missing))}")
+# The cached engine/kernel kwarg validation machinery used to live here;
+# it is now the single copy in :mod:`repro.config` (behind
+# ``RunConfig.validate_for``), shared with the serving scheduler.  The
+# historical underscore names stay importable from this module — tests and
+# external callers poke them (`_ENGINE_PROBE_CACHE.clear()` etc.), and the
+# aliases are the *same* objects, so clearing the cache here clears it
+# everywhere.
+_validate_task_kwargs = validate_task_kwargs
 
 
 def _run_tile(task: Tuple[str, str, Any, int,
@@ -293,7 +219,8 @@ class TilePlan(NamedTuple):
 
 
 def build_tile_tasks(kernel: str, inputs: Optional[Dict[str, np.ndarray]],
-                     length: int, *, tile: int, seed: Optional[int] = 0,
+                     length: int, *, config: Optional[RunConfig] = None,
+                     tile: Optional[int] = None, seed: Optional[int] = None,
                      engine_kwargs: Optional[Dict[str, Any]] = None,
                      kernel_kwargs: Optional[Dict[str, Any]] = None,
                      backend: Optional[str] = None,
@@ -308,6 +235,14 @@ def build_tile_tasks(kernel: str, inputs: Optional[Dict[str, np.ndarray]],
     fails before anything is submitted.  ``backend`` overrides the
     process-active execution backend baked into the tasks — the threaded
     serving client uses it to capture its caller's backend at submit time.
+
+    ``config=`` (a :class:`repro.config.RunConfig`, defaulting to
+    ``RunConfig.default()`` — the fast preset) supplies ``tile``, ``seed``
+    and ``backend`` when the explicit arguments are ``None``, and pins the
+    engine's model axes; explicit arguments and ``engine_kwargs`` keys
+    override the config field-by-field (see
+    :meth:`RunConfig.merged_engine_kwargs` for the one bit→dense
+    coercion).
 
     Transport modes
     ---------------
@@ -329,6 +264,17 @@ def build_tile_tasks(kernel: str, inputs: Optional[Dict[str, np.ndarray]],
     """
     if kernel not in KERNELS:
         raise ValueError(f"unknown tile kernel {kernel!r}")
+    cfg = RunConfig.resolve(config)
+    if tile is None:
+        tile = cfg.tile
+    if tile is None:
+        raise ValueError("a tile size is required: pass tile= or set it "
+                         "on the config")
+    if seed is None:
+        seed = cfg.seed
+    if backend is None:
+        backend = cfg.backend
+    engine_kwargs = cfg.merged_engine_kwargs(engine_kwargs)
     ticket = None
     if scene is not None:
         if scene_store is None:
@@ -351,10 +297,9 @@ def build_tile_tasks(kernel: str, inputs: Optional[Dict[str, np.ndarray]],
         grid = tile_grid(height, width, tile)
         children = np.random.SeedSequence(seed).spawn(len(grid))
         backend_name = get_backend(backend).name
-        engine_kwargs = dict(engine_kwargs or {})
         kernel_kwargs = dict(kernel_kwargs or {})
-        _validate_task_kwargs(kernel, input_names, engine_kwargs,
-                              kernel_kwargs)
+        validate_task_kwargs(kernel, input_names, engine_kwargs,
+                             kernel_kwargs)
         if scene_store is not None:
             if ticket is None:
                 ticket = scene_store.publish(inputs)
@@ -403,7 +348,9 @@ def stitch_tiles(plan: TilePlan,
 
 
 def run_tiled(kernel: str, inputs: Dict[str, np.ndarray], length: int, *,
-              tile: int, jobs: int = 1, seed: Optional[int] = 0,
+              config: Optional[RunConfig] = None,
+              tile: Optional[int] = None, jobs: Optional[int] = None,
+              seed: Optional[int] = None,
               engine_kwargs: Optional[Dict[str, Any]] = None,
               kernel_kwargs: Optional[Dict[str, Any]] = None,
               pool: Optional[Any] = None, mp_context: Any = None,
@@ -423,8 +370,14 @@ def run_tiled(kernel: str, inputs: Dict[str, np.ndarray], length: int, *,
         export ``*_inputs`` helpers building these from a source image.
     length:
         SC stream length N.
+    config:
+        A :class:`repro.config.RunConfig` supplying every axis below that
+        is left ``None`` (plus the engine model axes and the backend);
+        ``None`` resolves to ``RunConfig.default()`` — the fast preset
+        (packed + column + sparse).  Explicit arguments override the
+        config field-by-field.
     tile:
-        Tile edge length in pixels.
+        Tile edge length in pixels (required here or on the config).
     jobs:
         Worker processes; ``1`` executes in-process (no pool, same bits).
     seed:
@@ -432,9 +385,10 @@ def run_tiled(kernel: str, inputs: Dict[str, np.ndarray], length: int, *,
     engine_kwargs:
         Extra :class:`InMemorySCEngine` constructor arguments (fault rates,
         fault domain, fault sampling, cell model, ...) applied to every
-        tile engine.  Validated up front in the parent process — an
-        unknown key or invalid value raises a :class:`ValueError` naming
-        it, instead of an opaque pickled ``TypeError`` from a worker.
+        tile engine, overriding the config's model axes key-by-key.
+        Validated up front in the parent process — an unknown key or
+        invalid value raises a :class:`ValueError` naming it, instead of
+        an opaque pickled ``TypeError`` from a worker.
     kernel_kwargs:
         Extra keyword arguments forwarded to the kernel itself (e.g.
         ``gamma``/``degree`` for 'gamma_correct', ``lo``/``hi`` for
@@ -460,13 +414,14 @@ def run_tiled(kernel: str, inputs: Dict[str, np.ndarray], length: int, *,
     tile ledgers.  The ledger models total device work and is independent
     of ``jobs``; host-side wall-clock parallelism is not a hardware cost.
     """
-    plan = build_tile_tasks(kernel, inputs, length, tile=tile, seed=seed,
-                            engine_kwargs=engine_kwargs,
+    cfg = RunConfig.resolve(config)
+    plan = build_tile_tasks(kernel, inputs, length, config=cfg, tile=tile,
+                            seed=seed, engine_kwargs=engine_kwargs,
                             kernel_kwargs=kernel_kwargs,
                             scene_store=scene_store)
     try:
         results = pool_map(_run_tile, plan.tasks, jobs, pool=pool,
-                           mp_context=mp_context)
+                           mp_context=mp_context, config=cfg)
     finally:
         if scene_store is not None and plan.scene is not None:
             scene_store.release(plan.scene.digest)

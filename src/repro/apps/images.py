@@ -12,7 +12,7 @@ convert to the 8-bit domain of the binary CIM baseline.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple, Union
+from typing import Tuple, Union
 
 import numpy as np
 from scipy import ndimage

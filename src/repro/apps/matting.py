@@ -29,7 +29,7 @@ from ..bincim.design import BinaryCimDesign
 from ..core.streambatch import StreamBatch
 from ..imsc.engine import InMemorySCEngine
 from .compositing import composite_float
-from .images import from_uint8, to_uint8
+from .images import to_uint8
 
 __all__ = ["matting_float", "matting_sc", "matting_sc_kernel",
            "matting_bincim"]

@@ -20,7 +20,7 @@ weights can be pre-scaled to compensate.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Union
+from typing import Union
 
 import numpy as np
 

@@ -33,12 +33,15 @@ results depend on the tile grid but **not** on ``jobs`` — ``jobs=1`` and
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple, Union
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
 from ..bincim.design import BinaryCimDesign
+from ..config import RunConfig
+from ..core.backend import use_backend
 from ..energy.model import EnergyLedger
 from ..imsc.engine import InMemorySCEngine
 from ..reram.faults import DEFAULT_FAULT_RATES, GateFaultRates
@@ -80,13 +83,26 @@ class AppResult:
     ledger: Optional[EnergyLedger] = None
 
 
-def _engine_kwargs(faulty: bool, fault_rates: Optional[GateFaultRates],
-                   fault_domain: str, fault_sampling: str,
-                   cell_model: str) -> Dict[str, object]:
+def _engine_kwargs(cfg: RunConfig, faulty: bool,
+                   fault_rates: Optional[GateFaultRates],
+                   fault_domain: Optional[str],
+                   fault_sampling: Optional[str],
+                   cell_model: Optional[str]) -> Dict[str, object]:
     rates = (fault_rates if fault_rates is not None
              else DEFAULT_FAULT_RATES) if faulty else None
-    return {"fault_rates": rates, "fault_domain": fault_domain,
-            "fault_sampling": fault_sampling, "cell_model": cell_model}
+    explicit = {k: v for k, v in (("fault_domain", fault_domain),
+                                  ("fault_sampling", fault_sampling),
+                                  ("cell_model", cell_model))
+                if v is not None}
+    kwargs = cfg.merged_engine_kwargs(explicit)
+    kwargs["fault_rates"] = rates
+    return kwargs
+
+
+#: Distinguishes "argument not passed" from an explicit ``None`` — for
+#: ``tile``, where ``None`` is a meaningful value (whole-image path) that
+#: must remain expressible even when the config carries a tile size.
+_UNSET = object()
 
 
 def run_app(app: str, backend: str, length: int = 128,
@@ -95,11 +111,12 @@ def run_app(app: str, backend: str, length: int = 128,
             bincim_fault_rate: float = 1e-4,
             bincim_fault_granularity: str = "gate",
             size: int = 48, upscale_factor: int = 2,
-            seed: Optional[int] = 0,
-            jobs: int = 1, tile: Optional[int] = None,
-            fault_domain: str = "word",
-            fault_sampling: str = "dense",
-            cell_model: str = "per-bit") -> AppResult:
+            seed: Optional[int] = None,
+            jobs: Optional[int] = None, tile=_UNSET,
+            fault_domain: Optional[str] = None,
+            fault_sampling: Optional[str] = None,
+            cell_model: Optional[str] = None,
+            config: Optional[RunConfig] = None) -> AppResult:
     """Execute one application on one backend and score it.
 
     Parameters
@@ -120,7 +137,8 @@ def run_app(app: str, backend: str, length: int = 128,
     size:
         Scene edge length in pixels.
     seed:
-        Scene and fault-sampling seed.
+        Scene and fault-sampling seed; ``None`` (default) takes the
+        config's seed.
     jobs / tile:
         SC-only sharding controls: ``tile=T`` splits the scene into
         ``T x T`` tiles with deterministic per-tile seeds and ``jobs=N``
@@ -129,26 +147,45 @@ def run_app(app: str, backend: str, length: int = 128,
         path, whose streams are bit-reproducible across releases;
         ``jobs > 1`` therefore requires an explicit ``tile``.
     fault_domain:
-        'word' (default) or 'bit' — forwarded to the engine; 'bit' is the
-        per-bit conformance oracle and produces bit-identical output.
+        'word' or 'bit' — forwarded to the engine; 'bit' is the per-bit
+        conformance oracle and produces bit-identical output.  ``None``
+        (default) takes the config's value.
     fault_sampling:
-        'dense' (default) or 'sparse' — forwarded to the engine; 'dense'
-        is the bit-exact fault-mask oracle (reproducible per seed across
+        'dense' or 'sparse' — forwarded to the engine; 'dense' is the
+        bit-exact fault-mask oracle (reproducible per seed across
         releases), 'sparse' draws Binomial flip counts and scatters the
         sites into the packed payload — statistically conformant and much
-        faster for faulty sweeps (see :mod:`repro.imsc.engine`).
+        faster for faulty sweeps (see :mod:`repro.imsc.engine`).  ``None``
+        (default) takes the config's value.
     cell_model:
         S-to-B device-variability model forwarded to the SC engine:
-        'per-bit' (default — bit-reproducible against earlier releases) or
-        'column' (batched popcount readout with cached per-column draws;
-        statistically equivalent and much faster, see
-        :mod:`repro.imsc.stob`).  Ignored by the other backends.
+        'per-bit' (the oracle — bit-reproducible against earlier releases)
+        or 'column' (batched popcount readout; statistically equivalent
+        and much faster, see :mod:`repro.imsc.stob`).  ``None`` (default)
+        takes the config's value.  Ignored by the other backends.
+    config:
+        A :class:`repro.config.RunConfig`; ``None`` resolves to
+        ``RunConfig.default()`` — the fast preset — so a bare
+        ``run_app(app, 'sc')`` runs packed + column + sparse.  Pass
+        ``config=RunConfig.oracle()`` to reproduce the paper-faithful
+        per-bit/dense numbers bit-exactly.  Explicit arguments override
+        the config field-by-field; the config's ``jobs``/``tile`` apply
+        to the 'sc' backend only (the other backends have no sharded
+        path), and its execution ``backend`` field scopes the active
+        bitstream backend for the run.
     """
+    cfg = RunConfig.resolve(config)
     if app not in APPS:
         raise ValueError(f"unknown app {app!r}")
     if backend not in BACKENDS:
         raise ValueError(f"unknown backend {backend!r}")
-    if jobs < 1:
+    if seed is None:
+        seed = cfg.seed
+    if jobs is None:
+        jobs = cfg.jobs if backend == "sc" else 1
+    if tile is _UNSET:
+        tile = cfg.tile if backend == "sc" else None
+    if not isinstance(jobs, int) or isinstance(jobs, bool) or jobs < 1:
         raise ValueError("jobs must be >= 1")
     if tile is not None and tile < 1:
         raise ValueError("tile must be None or a positive integer")
@@ -158,17 +195,23 @@ def run_app(app: str, backend: str, length: int = 128,
         raise ValueError("jobs > 1 requires a tile size (tile=None runs "
                          "the whole image in-process)")
     scene_rng = np.random.default_rng(seed)
-    kwargs = _engine_kwargs(faulty, fault_rates, fault_domain,
+    kwargs = _engine_kwargs(cfg, faulty, fault_rates, fault_domain,
                             fault_sampling, cell_model)
 
     def sc_run(kernel: str, inputs: Dict[str, np.ndarray],
                whole_image) -> Tuple[np.ndarray, EnergyLedger]:
         """Tiled or whole-image SC execution of one app."""
         if tile is None:
-            engine = InMemorySCEngine(rng=seed, **kwargs)
-            return whole_image(engine), engine.ledger
-        return run_tiled(kernel, inputs, length, tile=tile, jobs=jobs,
-                         seed=seed, engine_kwargs=kwargs)
+            # The config's execution backend scopes the whole-image run;
+            # the tiled path instead bakes the backend name into each
+            # task (workers re-select it).
+            scope = (use_backend(cfg.backend) if cfg.backend is not None
+                     else nullcontext())
+            with scope:
+                engine = InMemorySCEngine(rng=seed, **kwargs)
+                return whole_image(engine), engine.ledger
+        return run_tiled(kernel, inputs, length, config=cfg, tile=tile,
+                         jobs=jobs, seed=seed, engine_kwargs=kwargs)
 
     if app == "compositing":
         background, foreground, alpha = scene_triplet(size, size, scene_rng)

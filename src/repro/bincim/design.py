@@ -12,8 +12,7 @@ The design processes one *row batch* of elements per gate sequence
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Dict, Optional, Tuple
+from typing import Dict, Optional
 
 import numpy as np
 

@@ -10,31 +10,45 @@ Usage::
     python -m repro fig5
     python -m repro imsng
     python -m repro all
-    python -m repro serve --jobs N [--transport shm|copy]
+    python -m repro serve [--jobs N]
+    python -m repro <target> --preset oracle     # paper-faithful oracles
 
-Every target accepts ``--backend {unpacked,packed}`` to pick the
-bit-stream execution backend (default: the ``REPRO_BACKEND`` environment
-variable, falling back to ``unpacked``).  ``--jobs N`` fans work across N
-worker processes wherever the target shards: the Monte-Carlo tables
-(``table1``/``table2``, chunk-sharded through the factory harness — the
-printed values are independent of N) and the application table
-(``table4``, which additionally needs ``--tile T`` to decompose each
-scene into ``T x T`` tiles with deterministic per-tile seeds — see
-:mod:`repro.apps.executor`).  ``table4`` also accepts
-``--cell-model {per-bit,column}`` to pick the S-to-B device model:
-``per-bit`` is the historical per-cell sampling oracle, ``column`` the
-batched popcount readout with cached per-column conductance draws
-(statistically equivalent, much faster — see :mod:`repro.imsc.stob`).
-``--fault-sampling {dense,sparse}`` picks the fault-mask model for the
-faulty SC rows: ``dense`` is the bit-exact Bernoulli oracle, ``sparse``
-the statistically conformant Binomial scatter fast path (see
-:mod:`repro.imsc.engine`).
+Presets
+-------
+Every run is described by one :class:`repro.config.RunConfig`;
+``--preset`` picks the base and the individual flags below override it
+field-by-field:
+
+* ``--preset fast`` (the default): packed word backend, batched
+  ``column`` S-to-B readout, ``sparse`` Binomial fault masks, ``shm``
+  scene transport — the release defaults.  Statistically equivalent to
+  the oracles and much faster.
+* ``--preset oracle``: the paper-faithful reference — ``per-bit``
+  S-to-B cell sampling and ``dense`` Bernoulli fault masks.
+  Reproduces the historical pinned quality numbers bit-exactly for a
+  given seed.
+
+Flags
+-----
+``--backend {unpacked,packed}`` picks the bit-stream execution backend
+(default: the ``REPRO_BACKEND`` environment variable, falling back to
+``packed``; both backends produce bit-identical streams).  ``--jobs N``
+fans work across N worker processes wherever the target shards: the
+Monte-Carlo tables (``table1``/``table2``, chunk-sharded through the
+factory harness — the printed values are independent of N) and the
+application table (``table4``, which additionally needs ``--tile T`` to
+decompose each scene into ``T x T`` tiles with deterministic per-tile
+seeds — see :mod:`repro.apps.executor`).  ``--cell-model`` and
+``--fault-sampling`` override the preset's S-to-B device model and
+fault-mask model for the SC application runs (see
+:mod:`repro.imsc.stob` / :mod:`repro.imsc.engine`).
 
 ``serve`` starts the request-serving loop instead of printing a table: a
 resident pool of ``--jobs`` worker processes behind a line-delimited JSON
 protocol on stdin/stdout, scheduling concurrent tiled requests fair
 round-robin with per-request output bit-identical to the batch
-``run_tiled`` path (see :mod:`repro.serve`).
+``run_tiled`` path (see :mod:`repro.serve`); the resolved config is its
+serving default and is echoed by the ``stats`` request.
 
 Prints ASCII renderings of the paper's tables/figures using the same
 experiment runners the benchmark suite drives.
@@ -48,14 +62,15 @@ from typing import List, Optional
 
 from .analysis import experiments as ex
 from .analysis.tables import render_table
+from .config import RunConfig
 from .core.backend import available_backends, set_backend
 
 __all__ = ["main"]
 
 
-def _print_table1(args) -> None:
-    result = ex.table1_sng_mse(samples=args.samples, seed=args.seed,
-                               jobs=args.jobs)
+def _print_table1(args, cfg: RunConfig) -> None:
+    result = ex.table1_sng_mse(samples=args.samples, seed=cfg.seed,
+                               jobs=cfg.jobs)
     lengths = ex.TABLE1_LENGTHS
     rows = [[label] + [row[n] for n in lengths]
             for label, row in result.items()]
@@ -64,9 +79,9 @@ def _print_table1(args) -> None:
                        precision=4))
 
 
-def _print_table2(args) -> None:
-    result = ex.table2_ops_mse(samples=args.samples, seed=args.seed,
-                               jobs=args.jobs)
+def _print_table2(args, cfg: RunConfig) -> None:
+    result = ex.table2_ops_mse(samples=args.samples, seed=cfg.seed,
+                               jobs=cfg.jobs)
     lengths = ex.TABLE1_LENGTHS
     rows = []
     for op, sources in result.items():
@@ -88,11 +103,8 @@ def _print_table3(args) -> None:
                        title="Table III - hardware cost (N = 256)"))
 
 
-def _print_table4(args) -> None:
-    result = ex.table4_quality(runs=args.runs, size=args.size,
-                               seed=args.seed, jobs=args.jobs,
-                               tile=args.tile, cell_model=args.cell_model,
-                               fault_sampling=args.fault_sampling)
+def _print_table4(args, cfg: RunConfig) -> None:
+    result = ex.table4_quality(runs=args.runs, size=args.size, config=cfg)
     apps = ("compositing", "interpolation", "matting")
     rows = [[label] + [f"{v[a][0]:.1f}/{v[a][1]:.1f}" for a in apps]
             for label, v in result.items()]
@@ -141,60 +153,80 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("target",
                         choices=["table1", "table2", "table3", "table4",
                                  "fig4", "fig5", "imsng", "all", "serve"])
+    parser.add_argument("--preset", choices=list(RunConfig.PRESETS),
+                        default="fast",
+                        help="base run configuration: 'fast' (default — "
+                             "packed + column S-to-B + sparse fault "
+                             "masks, the release defaults) or 'oracle' "
+                             "(per-bit/dense — reproduces the paper's "
+                             "historical pinned numbers bit-exactly); "
+                             "the flags below override it field-by-field")
     parser.add_argument("--samples", type=int, default=10_000,
                         help="Monte-Carlo samples for tables I/II")
     parser.add_argument("--runs", type=int, default=2,
                         help="application runs to average for table IV")
     parser.add_argument("--size", type=int, default=32,
                         help="scene edge length for table IV")
-    parser.add_argument("--seed", type=int, default=0)
-    parser.add_argument("--jobs", type=int, default=1,
+    parser.add_argument("--seed", type=int, default=None,
+                        help="root seed (default: the preset's, 0)")
+    parser.add_argument("--jobs", type=int, default=None,
                         help="worker processes: shards the Monte-Carlo "
                              "chunks of table1/table2, the tiled SC "
                              "application runs of table4 (requires "
                              "--tile), and sizes the resident pool of "
-                             "'serve'; printed values are independent "
-                             "of N")
+                             "'serve' (its default pool is 2); printed "
+                             "values are independent of N")
     parser.add_argument("--tile", type=int, default=None,
                         help="tile edge length for sharded SC application "
                              "runs (table4); default: whole-image")
     parser.add_argument("--cell-model", choices=["per-bit", "column"],
-                        default="per-bit", dest="cell_model",
+                        default=None, dest="cell_model",
                         help="S-to-B device model for SC application runs "
-                             "(table4): 'per-bit' samples every cell (the "
-                             "conformance oracle), 'column' is the batched "
-                             "popcount readout with cached per-column "
-                             "conductance draws")
+                             "(table4), overriding the preset: 'per-bit' "
+                             "samples every cell (the conformance "
+                             "oracle), 'column' is the batched popcount "
+                             "readout with cached per-column conductance "
+                             "draws")
     parser.add_argument("--fault-sampling", choices=["dense", "sparse"],
-                        default="dense", dest="fault_sampling",
+                        default=None, dest="fault_sampling",
                         help="fault-mask sampling for faulty SC runs "
-                             "(table4): 'dense' is the bit-exact per-site "
-                             "Bernoulli oracle, 'sparse' draws Binomial "
-                             "flip counts and scatters the sites into the "
-                             "packed payload (statistically conformant, "
-                             "much faster at the paper's gate rates)")
+                             "(table4), overriding the preset: 'dense' is "
+                             "the bit-exact per-site Bernoulli oracle, "
+                             "'sparse' draws Binomial flip counts and "
+                             "scatters the sites into the packed payload "
+                             "(statistically conformant, much faster at "
+                             "the paper's gate rates)")
     parser.add_argument("--backend", choices=available_backends(),
                         default=None,
                         help="bit-stream execution backend (overrides the "
-                             "REPRO_BACKEND environment variable)")
+                             "preset and the REPRO_BACKEND environment "
+                             "variable)")
     parser.add_argument("--transport", choices=["shm", "copy"],
-                        default="shm",
-                        help="scene transport for 'serve': 'shm' ships "
-                             "each scene once through the content-"
-                             "addressed shared-memory store (tile tasks "
-                             "carry references; repeated scenes are "
-                             "zero-byte cache hits), 'copy' pickles tile "
-                             "slices per request; output is bit-identical "
-                             "either way")
+                        default=None,
+                        help="scene transport for 'serve', overriding the "
+                             "preset: 'shm' ships each scene once through "
+                             "the content-addressed shared-memory store "
+                             "(tile tasks carry references; repeated "
+                             "scenes are zero-byte cache hits), 'copy' "
+                             "pickles tile slices per request; output is "
+                             "bit-identical either way")
     args = parser.parse_args(argv)
 
-    if args.jobs < 1:
-        parser.error("--jobs must be >= 1")
-    if args.jobs > 1 and args.target in ("table3", "fig4", "fig5", "imsng"):
+    overrides = {key: value for key, value in
+                 (("backend", args.backend), ("jobs", args.jobs),
+                  ("tile", args.tile), ("cell_model", args.cell_model),
+                  ("fault_sampling", args.fault_sampling),
+                  ("transport", args.transport), ("seed", args.seed))
+                 if value is not None}
+    try:
+        cfg = RunConfig.preset(args.preset, **overrides)
+    except ValueError as exc:
+        parser.error(str(exc))
+    if cfg.jobs > 1 and args.target in ("table3", "fig4", "fig5", "imsng"):
         parser.error(f"--jobs does not apply to {args.target} (it shards "
                      "table1/table2/table4 and sizes the 'serve' pool)")
-    if (args.target in ("table4", "all") and args.jobs > 1
-            and args.tile is None):
+    if (args.target in ("table4", "all") and cfg.jobs > 1
+            and cfg.tile is None):
         parser.error("--jobs > 1 requires --tile for the application "
                      "targets (whole-image runs are single-process)")
     if args.backend is not None:
@@ -202,15 +234,16 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.target == "serve":
         from .serve import serve_stdio
-        return serve_stdio(jobs=args.jobs, transport=args.transport)
-    if args.transport != "shm":
+        return serve_stdio(jobs=args.jobs, transport=args.transport,
+                           config=cfg)
+    if args.transport is not None:
         parser.error("--transport only applies to 'serve'")
 
     dispatch = {
-        "table1": lambda: _print_table1(args),
-        "table2": lambda: _print_table2(args),
+        "table1": lambda: _print_table1(args, cfg),
+        "table2": lambda: _print_table2(args, cfg),
         "table3": lambda: _print_table3(args),
-        "table4": lambda: _print_table4(args),
+        "table4": lambda: _print_table4(args, cfg),
         "fig4": lambda: _print_fig("fig4"),
         "fig5": lambda: _print_fig("fig5"),
         "imsng": lambda: _print_imsng(args),

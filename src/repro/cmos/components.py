@@ -14,9 +14,8 @@ CORDIV).
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from dataclasses import dataclass
+from typing import List, Tuple
 
 from .stdcell import cell
 

@@ -20,8 +20,8 @@ multiplication's despite the extra comparator.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from dataclasses import dataclass
+from typing import Dict
 
 from ..energy.model import EnergyLedger
 from ..energy.params import DEFAULT_TRANSFER_COSTS, TransferCosts

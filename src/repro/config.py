@@ -1,0 +1,423 @@
+"""The one picklable description of *how to run*: :class:`RunConfig`.
+
+Every fast path in this stack — the packed word backend, the batched
+column S-to-B readout, sparse fault-mask scatter, the shared-memory scene
+transport, the tiled process-pool executor — used to be selected by loose
+kwargs threaded hand-to-hand through ``imsc/engine.py`` →
+``apps/executor.py`` → ``serve/`` → ``cli.py``.  :class:`RunConfig`
+replaces those kwarg fans with one frozen, validated value that crosses
+process and wire boundaries intact: it is picklable (workers), JSON
+round-trippable (``to_dict``/``from_dict``, with the same unknown-key
+strictness as the serving front-end), and hashable (caches).
+
+Presets
+-------
+* :meth:`RunConfig.fast` — the **package default** since the fast-path
+  release: packed words, column S-to-B, sparse fault sampling, shm scene
+  transport.  ``RunConfig.default()`` is an alias; ``run_app()`` with no
+  arguments, ``python -m repro serve`` and every benchmark guard resolve
+  to it.
+* :meth:`RunConfig.oracle` — the paper-faithful slow reference: per-bit
+  S-to-B cell sampling and dense Bernoulli fault masks.  For a given seed
+  it reproduces the pre-release pinned golden values bit-exactly
+  (``tests/test_backend_equivalence.py`` holds it to that), so the
+  historical numbers stay one preset away.
+
+The two presets differ only in *statistically conformant* axes: the
+conformance suites (``tests/test_imsc.py``, ``tests/test_fault_sampling
+.py``) bridge them, and every bit-exact axis (backend, fault domain,
+transport, jobs/tile sharding) is identical across presets by
+construction.
+
+Resolution contract
+-------------------
+Entry points take ``config=None`` plus their historical per-field kwargs.
+``None`` fields mean "take the config's value"; an explicitly passed
+field *overrides* the config (the CLI's ``--cell-model`` etc. build on
+this).  One deliberate coercion: a caller explicitly selecting the
+per-bit fault **domain** oracle without naming a sampling mode gets
+``'dense'`` (the per-bit oracle is dense by definition), never a
+``sparse``/``'bit'`` conflict error from an implicit default.
+
+This module also owns the cached request-validation introspection that
+``apps/executor.py`` and the serving scheduler previously each carried:
+:func:`validate_task_kwargs` / :meth:`RunConfig.validate_for` are the
+single copy.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import inspect
+from functools import lru_cache
+from typing import Any, Callable, Dict, Optional, Sequence, Tuple, Union
+
+__all__ = ["RunConfig", "validate_task_kwargs"]
+
+_CELL_MODELS = ("per-bit", "column")
+_FAULT_SAMPLING = ("dense", "sparse")
+_FAULT_DOMAINS = ("word", "bit")
+_TRANSPORTS = ("shm", "copy")
+_MP_CONTEXTS = ("fork", "forkserver", "spawn")
+
+
+def _check_choice(name: str, value: Any, choices: Tuple[str, ...],
+                  optional: bool = False) -> None:
+    if optional and value is None:
+        return
+    if value not in choices:
+        raise ValueError(f"{name} must be one of "
+                         f"{', '.join(map(repr, choices))}"
+                         f"{' or None' if optional else ''}, "
+                         f"got {value!r}")
+
+
+def _check_int(name: str, value: Any, minimum: int,
+               optional: bool = False) -> None:
+    if optional and value is None:
+        return
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise ValueError(f"{name} must be an integer"
+                         f"{' or None' if optional else ''}, got {value!r}")
+    if value < minimum:
+        raise ValueError(f"{name} must be >= {minimum}, got {value!r}")
+
+
+@dataclasses.dataclass(frozen=True)
+class RunConfig:
+    """Frozen, validated description of how to execute SC work.
+
+    Fields
+    ------
+    backend:
+        Execution backend name (``'unpacked'`` / ``'packed'``), or
+        ``None`` to inherit the process-active backend (which itself
+        defaults to ``packed`` since the fast-path release; the
+        ``REPRO_BACKEND`` environment variable still overrides it).
+        Stream bits are identical across backends, so this axis never
+        changes results — only speed.
+    cell_model:
+        S-to-B device-variability model: ``'column'`` (batched popcount
+        readout — the default) or ``'per-bit'`` (the sampling oracle).
+    fault_sampling:
+        Fault-mask model: ``'sparse'`` (Binomial site scatter — the
+        default) or ``'dense'`` (the bit-exact Bernoulli oracle).
+    fault_domain:
+        ``'word'`` (packed fault application, default) or ``'bit'`` (the
+        per-bit conformance oracle; bit-identical to ``'word'`` per seed
+        and forces dense sampling).
+    transport:
+        Serving scene transport: ``'shm'`` (content-addressed
+        shared-memory store, default) or ``'copy'`` (pickled tile
+        slices).  Bit-identical either way.
+    jobs:
+        Worker processes for sharded paths (``1`` = in-process; output
+        is jobs-invariant).
+    tile:
+        Tile edge length for the tiled executor, or ``None`` for
+        whole-image batch runs (serving always requires a tile).
+    mp_context:
+        Multiprocessing start-method name (``'fork'`` / ``'forkserver'``
+        / ``'spawn'``) or ``None`` for the pinned platform default.
+        Kept as a *name*, not a context object, so configs stay
+        picklable and JSON-serializable.
+    seed:
+        Root seed for the deterministic per-tile / per-chunk
+        ``SeedSequence`` spawn.  Must be a real integer — ``None``
+        (OS entropy) is rejected for the same reason the JSON front-end
+        rejects ``"seed": null``: silent nondeterminism.
+    """
+
+    backend: Optional[str] = None
+    cell_model: str = "column"
+    fault_sampling: str = "sparse"
+    fault_domain: str = "word"
+    transport: str = "shm"
+    jobs: int = 1
+    tile: Optional[int] = None
+    mp_context: Optional[str] = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.backend is not None:
+            from .core.backend import get_backend
+            get_backend(self.backend)   # raises naming the bad backend
+        _check_choice("cell_model", self.cell_model, _CELL_MODELS)
+        _check_choice("fault_sampling", self.fault_sampling, _FAULT_SAMPLING)
+        _check_choice("fault_domain", self.fault_domain, _FAULT_DOMAINS)
+        if self.fault_sampling == "sparse" and self.fault_domain == "bit":
+            raise ValueError(
+                "conflicting keys: fault_sampling='sparse' requires "
+                "fault_domain='word' (the per-bit oracle is dense by "
+                "definition)")
+        _check_choice("transport", self.transport, _TRANSPORTS)
+        _check_choice("mp_context", self.mp_context, _MP_CONTEXTS,
+                      optional=True)
+        _check_int("jobs", self.jobs, 1)
+        _check_int("tile", self.tile, 1, optional=True)
+        if not isinstance(self.seed, int) or isinstance(self.seed, bool):
+            raise ValueError(
+                f"seed must be an integer, got {self.seed!r}: a None/float "
+                f"seed would make output silently nondeterministic")
+
+    # ------------------------------------------------------------------
+    # presets
+    # ------------------------------------------------------------------
+    @classmethod
+    def fast(cls, **overrides: Any) -> "RunConfig":
+        """The fast-path preset: packed + column + sparse (+ shm)."""
+        return cls().replace(**overrides)
+
+    @classmethod
+    def oracle(cls, **overrides: Any) -> "RunConfig":
+        """The paper-faithful reference: per-bit S-to-B, dense masks.
+
+        Reproduces the pre-release pinned golden quality values
+        bit-exactly for a given seed.
+        """
+        base = cls(cell_model="per-bit", fault_sampling="dense")
+        return base.replace(**overrides)
+
+    @classmethod
+    def default(cls) -> "RunConfig":
+        """The package default — :meth:`fast` since the defaults flip."""
+        return cls.fast()
+
+    PRESETS = ("fast", "oracle")
+
+    @classmethod
+    def preset(cls, name: str, **overrides: Any) -> "RunConfig":
+        """Look up a preset by name (``'fast'`` / ``'oracle'``)."""
+        if name not in cls.PRESETS:
+            raise ValueError(f"unknown preset {name!r}; expected one of: "
+                             f"{', '.join(cls.PRESETS)}")
+        return (cls.fast if name == "fast" else cls.oracle)(**overrides)
+
+    @classmethod
+    def resolve(cls, config: Optional["RunConfig"]) -> "RunConfig":
+        """``config`` itself, or :meth:`default` when ``None``."""
+        if config is None:
+            return cls.default()
+        if not isinstance(config, cls):
+            raise TypeError(f"config must be a RunConfig or None, "
+                            f"got {type(config).__name__}")
+        return config
+
+    # ------------------------------------------------------------------
+    # round-tripping
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-JSON field dict; ``from_dict(to_dict())`` is identity."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def field_names(cls) -> Tuple[str, ...]:
+        return tuple(f.name for f in dataclasses.fields(cls))
+
+    @classmethod
+    def from_dict(cls, data: Any) -> "RunConfig":
+        """Build a validated config from a plain dict.
+
+        Strictness matches the JSON front-end: unknown keys are rejected
+        *by name* (a silently dropped key means a client believes it
+        configured something it didn't), and every field value is
+        validated before the config is returned.
+        """
+        if not isinstance(data, dict):
+            raise ValueError(f"config must be a JSON object of RunConfig "
+                             f"fields, got {type(data).__name__}")
+        unknown = sorted(set(data) - set(cls.field_names()))
+        if unknown:
+            raise ValueError(
+                f"unknown config key(s): {', '.join(map(repr, unknown))}; "
+                f"valid keys: {', '.join(cls.field_names())}")
+        return cls(**data)
+
+    def replace(self, **overrides: Any) -> "RunConfig":
+        """A copy with fields replaced; unknown names rejected by name."""
+        unknown = sorted(set(overrides) - set(self.field_names()))
+        if unknown:
+            raise ValueError(
+                f"unknown config key(s): {', '.join(map(repr, unknown))}; "
+                f"valid keys: {', '.join(self.field_names())}")
+        return dataclasses.replace(self, **overrides)
+
+    # ------------------------------------------------------------------
+    # engine-kwarg resolution
+    # ------------------------------------------------------------------
+    def engine_kwargs(self) -> Dict[str, Any]:
+        """The engine-constructor kwargs this config pins."""
+        return {"cell_model": self.cell_model,
+                "fault_sampling": self.fault_sampling,
+                "fault_domain": self.fault_domain}
+
+    def merged_engine_kwargs(self, extra: Optional[Dict[str, Any]] = None
+                             ) -> Dict[str, Any]:
+        """Config-pinned engine kwargs with explicit ``extra`` overrides.
+
+        Explicit keys win over the config.  One coercion keeps the
+        override surface ergonomic: selecting ``fault_domain='bit'`` (the
+        per-bit oracle) without naming a sampling mode falls back to
+        ``'dense'`` instead of inheriting a conflicting config-level
+        ``'sparse'`` — the oracle is dense by definition, and an error
+        from an *implicit* default would be unactionable.
+        """
+        merged = self.engine_kwargs()
+        extra = dict(extra or {})
+        merged.update(extra)
+        if (merged.get("fault_domain") == "bit"
+                and "fault_sampling" not in extra
+                and merged.get("fault_sampling") == "sparse"):
+            merged["fault_sampling"] = "dense"
+        return merged
+
+    def validate_for(self, kernel: Union[str, Callable],
+                     input_names: Sequence[str] = (),
+                     kernel_kwargs: Optional[Dict[str, Any]] = None,
+                     engine_kwargs: Optional[Dict[str, Any]] = None
+                     ) -> Dict[str, Any]:
+        """Validate this config (plus overrides) against one tile kernel.
+
+        Returns the merged engine kwargs the workers would see.  Raises
+        :class:`ValueError` naming the offending key on an unknown engine
+        kwarg, an invalid engine value, an unknown kernel kwarg, an
+        input/kwarg collision, or a missing required input — all in the
+        caller's process, before anything is pickled to a worker.
+        """
+        merged = self.merged_engine_kwargs(engine_kwargs)
+        validate_task_kwargs(kernel, input_names, merged,
+                             dict(kernel_kwargs or {}))
+        return merged
+
+
+# ---------------------------------------------------------------------------
+# Cached task-kwarg validation (the single copy; executor re-exports it)
+# ---------------------------------------------------------------------------
+@lru_cache(maxsize=1)
+def _engine_param_names() -> frozenset:
+    """Constructor kwargs of ``InMemorySCEngine``, introspected once."""
+    from .imsc.engine import InMemorySCEngine
+    return frozenset(
+        inspect.signature(InMemorySCEngine.__init__).parameters) - {"self"}
+
+
+@lru_cache(maxsize=256)
+def _kernel_sig_info(fn: Callable) -> Tuple[bool, frozenset, frozenset]:
+    """``(has_var_keyword, param_names, required_names)`` for one kernel.
+
+    Keyed on the function object (not the registry name) so re-binding a
+    name in ``KERNELS`` — the test suite does — can never serve a stale
+    signature.
+    """
+    sig = inspect.signature(fn)
+    has_var_kw = any(p.kind is inspect.Parameter.VAR_KEYWORD
+                     for p in sig.parameters.values())
+    params = frozenset(sig.parameters) - {"engine", "length"}
+    required = frozenset(
+        name for name, p in sig.parameters.items()
+        if name not in ("engine", "length")
+        and p.default is inspect.Parameter.empty
+        and p.kind in (inspect.Parameter.POSITIONAL_OR_KEYWORD,
+                       inspect.Parameter.KEYWORD_ONLY))
+    return has_var_kw, params, required
+
+
+#: Engine-kwarg combinations already probed OK (a throwaway engine was
+#: constructed without raising).  Serving hot path: re-probing the same
+#: frozen kwargs on every request would rebuild an engine per request.
+_ENGINE_PROBE_CACHE: set = set()
+_ENGINE_PROBE_CACHE_MAX = 1024
+
+
+def _probe_engine_kwargs(engine_kwargs: Dict[str, Any]) -> None:
+    """Reject bad engine kwarg *values* with the engine's own message.
+
+    Constructing a throwaway engine (no stream state) validates values
+    like ``fault_sampling``; combinations that pass are remembered (keyed
+    on the frozen kwargs) so repeated requests skip the probe.  Failures
+    are never cached, and unhashable values fall back to probing every
+    time.
+    """
+    try:
+        key = tuple(sorted(engine_kwargs.items()))
+        hash(key)
+    except TypeError:
+        key = None
+    if key is not None and key in _ENGINE_PROBE_CACHE:
+        return
+    from .imsc.engine import InMemorySCEngine
+    InMemorySCEngine(**engine_kwargs)
+    if key is not None:
+        if len(_ENGINE_PROBE_CACHE) >= _ENGINE_PROBE_CACHE_MAX:
+            _ENGINE_PROBE_CACHE.clear()
+        _ENGINE_PROBE_CACHE.add(key)
+
+
+def _kernel_fn(kernel: Union[str, Callable]) -> Callable:
+    if callable(kernel):
+        return kernel
+    from .apps.executor import KERNELS   # deferred: apps sits above config
+    if kernel not in KERNELS:
+        raise ValueError(f"unknown tile kernel {kernel!r}")
+    return KERNELS[kernel]
+
+
+def validate_task_kwargs(kernel: Union[str, Callable],
+                         input_names: Sequence[str],
+                         engine_kwargs: Dict[str, Any],
+                         kernel_kwargs: Dict[str, Any]) -> None:
+    """Fail fast, in the parent, on kwargs the workers would choke on.
+
+    A bad key would otherwise surface only inside a worker process as an
+    opaque pickled ``TypeError``; checking against the engine constructor
+    and the kernel signature here names the offending key directly.
+    Engine kwarg *values* are probed too (:func:`_probe_engine_kwargs`).
+    All introspection is cached — this runs once per served request, and
+    re-running ``inspect.signature`` plus an engine construction per
+    request was measurable in the serving hot path.
+
+    ``kernel`` may be a registry name or the kernel function itself.
+    This is the single copy of the acceptable-key derivation;
+    ``apps/executor.py`` and the serving path both route through it.
+    """
+    engine_params = _engine_param_names()
+    for key in engine_kwargs:
+        if key == "rng":
+            raise ValueError("engine_kwargs must not contain 'rng': each "
+                             "tile engine derives its generator from the "
+                             "per-tile SeedSequence child")
+        if key == "config":
+            raise ValueError("engine_kwargs must not contain 'config': "
+                             "pass the RunConfig itself via config=")
+        if key not in engine_params:
+            raise ValueError(
+                f"unknown engine kwarg {key!r}; valid keys: "
+                f"{', '.join(sorted(engine_params - {'rng', 'config'}))}")
+    _probe_engine_kwargs(engine_kwargs)
+    reserved = set(input_names)
+    for key in kernel_kwargs:
+        if key in reserved:
+            raise ValueError(f"kernel kwarg {key!r} collides with a tiled "
+                             f"input array of the same name")
+    kernel_name = kernel if isinstance(kernel, str) else getattr(
+        kernel, "__name__", repr(kernel))
+    has_var_kw, kernel_params, required = _kernel_sig_info(
+        _kernel_fn(kernel))
+    if has_var_kw:
+        return
+    for key in input_names:
+        if key not in kernel_params:
+            raise ValueError(
+                f"unknown input {key!r} for kernel {kernel_name!r}; "
+                f"expected arrays named from: "
+                f"{', '.join(sorted(kernel_params))}")
+    for key in kernel_kwargs:
+        if key not in kernel_params:
+            raise ValueError(
+                f"unknown kwarg {key!r} for kernel {kernel_name!r}; valid "
+                f"keys: {', '.join(sorted(kernel_params - reserved)) or '(none)'}")
+    missing = required - reserved - set(kernel_kwargs)
+    if missing:
+        raise ValueError(
+            f"kernel {kernel_name!r} is missing required input array(s): "
+            f"{', '.join(sorted(missing))}")

@@ -20,7 +20,9 @@ Two backends ship with the library:
 
 The active backend is resolved, in order, from :func:`set_backend` /
 :func:`use_backend` calls, the ``REPRO_BACKEND`` environment variable, and
-finally the ``unpacked`` default.  :class:`~repro.core.bitstream.Bitstream`
+finally the ``packed`` default (the fast-path release flipped it from
+``unpacked``; both remain registered and the streams they produce are
+bit-identical).  :class:`~repro.core.bitstream.Bitstream`
 consults the registry on construction, so flipping the environment variable
 re-routes the whole library — ops, SNGs, correlation, the in-memory engine —
 without touching call sites.
@@ -51,9 +53,15 @@ __all__ = [
     "set_backend",
     "use_backend",
     "DEFAULT_BACKEND_ENV",
+    "DEFAULT_BACKEND_NAME",
 ]
 
 DEFAULT_BACKEND_ENV = "REPRO_BACKEND"
+#: Fallback when neither set_backend/use_backend nor REPRO_BACKEND picked
+#: one.  ``packed`` since the fast-path release: bit-exact with
+#: ``unpacked`` (the conformance suite holds every op to that), 8x less
+#: memory traffic.
+DEFAULT_BACKEND_NAME = "packed"
 
 _WORD_BITS = 64
 _WORD_BYTES = 8
@@ -399,13 +407,14 @@ def get_backend(name: Optional[str] = None) -> ExecutionBackend:
 
     With ``name=None`` the active backend is returned, resolving on first
     use from the ``REPRO_BACKEND`` environment variable (default
-    ``unpacked``).
+    ``packed`` since the fast-path release).
     """
     if name is None:
         global _ACTIVE
         if _ACTIVE is None:
             _ACTIVE = get_backend(
-                os.environ.get(DEFAULT_BACKEND_ENV, "unpacked").strip().lower())
+                os.environ.get(DEFAULT_BACKEND_ENV,
+                               DEFAULT_BACKEND_NAME).strip().lower())
         return _ACTIVE
     try:
         return _REGISTRY[name]

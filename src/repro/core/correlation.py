@@ -17,7 +17,7 @@ regeneration-based correlation.
 
 from __future__ import annotations
 
-from typing import Tuple, Union
+from typing import Union
 
 import numpy as np
 

@@ -27,7 +27,6 @@ All functions are pure and vectorised; they operate on
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 

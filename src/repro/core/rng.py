@@ -26,7 +26,7 @@ integers of a configurable bit width, vectorised over numpy arrays.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Union
+from typing import List, Optional, Sequence
 
 import numpy as np
 

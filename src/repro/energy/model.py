@@ -9,7 +9,7 @@ aggregates totals and breakdowns.  Controllers' command traces
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, Optional, Tuple
 
 from ..reram.controller import Command
 from .params import DEFAULT_RERAM_COSTS, ReRamStepCosts

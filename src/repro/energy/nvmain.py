@@ -16,8 +16,8 @@ energy and per-bank utilisation.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
 
 from .params import DEFAULT_RERAM_COSTS, ReRamStepCosts
 

@@ -8,7 +8,7 @@ parallelize and pipeline the different stages").
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Optional
 
 from .nvmain import TraceRequest
 

@@ -24,7 +24,6 @@ used in tests and in the vectorised engine.
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
 
 import numpy as np
 

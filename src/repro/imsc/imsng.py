@@ -25,7 +25,7 @@ making this the bit-exact reference for the vectorised engine.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Dict, List, Optional, Union
 
 import numpy as np
 

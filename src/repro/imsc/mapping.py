@@ -25,8 +25,8 @@ model assumes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
 from ..energy.nvmain import TraceRequest
 from ..energy.traces import imsng_trace

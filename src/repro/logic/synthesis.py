@@ -28,7 +28,7 @@ Three mapping strategies mirror the paper's design points:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Literal, Tuple
+from typing import Dict, List, Literal
 
 from .xag import Xag
 

@@ -12,15 +12,21 @@ root, all sharing schema version 1::
       "bench": "serve",                 # short [a-z0-9_]+ name
       "utc": "2026-08-07T12:34:56Z",    # write time, UTC
       "config": {...},                  # workload parameters (JSON scalars)
+      "run_config": {...},              # resolved RunConfig.to_dict()
       "results": {...}                  # speedups / percentiles / seconds
     }
 
 ``config`` and ``results`` are free-form JSON objects, but the whole
 record must survive ``json.dumps(..., allow_nan=False)`` — a NaN speedup
 must fail the writing benchmark, not poison the trajectory file.
+``run_config`` is the resolved :class:`repro.config.RunConfig` the guard
+measured under (its headline configuration), so a trajectory reader can
+tell an oracle run from a fast-preset run; when present it must
+round-trip through :meth:`RunConfig.from_dict`.
 :func:`validate_bench_record` enforces all of this; ``run_report.py``
-validates every ``BENCH_*.json`` it finds after a run and fails loudly
-on a malformed one, and a tier-1 test pins the validator itself.
+validates every ``BENCH_*.json`` it finds after a run (and refuses two
+records that report different resolved configs for the same benchmark
+name), and a tier-1 test pins the validator itself.
 """
 
 from __future__ import annotations
@@ -61,8 +67,14 @@ def _pyify(value: Any) -> Any:
 
 
 def bench_record(bench: str, config: Dict[str, Any],
-                 results: Dict[str, Any]) -> Dict[str, Any]:
-    """Assemble (and validate) one schema-1 record ready to write."""
+                 results: Dict[str, Any],
+                 run_config: Any = None) -> Dict[str, Any]:
+    """Assemble (and validate) one schema-1 record ready to write.
+
+    ``run_config`` is the resolved run configuration the benchmark
+    measured under — a :class:`repro.config.RunConfig` or its
+    ``to_dict()`` form; every in-tree guard supplies one.
+    """
     record = {
         "schema": BENCH_SCHEMA_VERSION,
         "bench": bench,
@@ -70,6 +82,10 @@ def bench_record(bench: str, config: Dict[str, Any],
         "config": _pyify(config),
         "results": _pyify(results),
     }
+    if run_config is not None:
+        if hasattr(run_config, "to_dict"):
+            run_config = run_config.to_dict()
+        record["run_config"] = _pyify(run_config)
     return validate_bench_record(record)
 
 
@@ -102,6 +118,16 @@ def validate_bench_record(record: Any) -> Dict[str, Any]:
         if not isinstance(record[key], dict):
             raise ValueError(f"{key} must be a JSON object, "
                              f"got {type(record[key]).__name__}")
+    if "run_config" in record:
+        if not isinstance(record["run_config"], dict):
+            raise ValueError(f"run_config must be a JSON object, "
+                             f"got {type(record['run_config']).__name__}")
+        from .config import RunConfig
+        try:
+            RunConfig.from_dict(record["run_config"])
+        except (TypeError, ValueError) as exc:
+            raise ValueError(f"run_config is not a valid resolved "
+                             f"RunConfig: {exc}") from exc
     try:
         json.dumps(record, allow_nan=False)
     except (TypeError, ValueError) as exc:
@@ -111,13 +137,14 @@ def validate_bench_record(record: Any) -> Dict[str, Any]:
 
 def write_bench_record(path: Union[str, pathlib.Path], bench: str,
                        config: Dict[str, Any],
-                       results: Dict[str, Any]) -> Dict[str, Any]:
+                       results: Dict[str, Any],
+                       run_config: Any = None) -> Dict[str, Any]:
     """Validate and write one record to ``path``; returns the record.
 
     The write is replace-based (temp file + rename) so a reader never
     sees a half-written trajectory file.
     """
-    record = bench_record(bench, config, results)
+    record = bench_record(bench, config, results, run_config=run_config)
     path = pathlib.Path(path)
     tmp = path.with_suffix(path.suffix + ".tmp")
     tmp.write_text(json.dumps(record, indent=2, allow_nan=False,

@@ -12,8 +12,8 @@ endurance analysis consume.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, Optional, Sequence, Union
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence, Union
 
 import numpy as np
 

@@ -20,12 +20,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from itertools import product
-from typing import Dict, Optional, Sequence, Tuple, Union
+from typing import Dict, Optional, Tuple, Union
 
 import numpy as np
 
 from .array import CrossbarArray
-from .device import DEFAULT_DEVICE, DeviceParams, ReRamDevice
+from .device import DEFAULT_DEVICE, DeviceParams
 from .periphery import SenseAmp
 from .scouting import ScoutingLogic
 

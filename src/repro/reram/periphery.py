@@ -20,7 +20,7 @@ Models the modified periphery of Fig. 1c:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Union
+from typing import Union
 
 import numpy as np
 

@@ -21,7 +21,7 @@ Monte-Carlo fault-rate derivation lives in :mod:`repro.reram.faults`.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, Sequence
 
 import numpy as np
 

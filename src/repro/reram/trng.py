@@ -23,7 +23,7 @@ straight into :class:`repro.core.sng.SegmentSng` and the in-memory IMSNG.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple, Union
+from typing import Optional, Union
 
 import numpy as np
 

@@ -27,6 +27,7 @@ from typing import Any, Dict, Optional, Tuple
 
 import numpy as np
 
+from ..config import RunConfig
 from ..core.backend import get_backend
 from ..energy.model import EnergyLedger
 from .pool import WorkerPool, serving_mp_context
@@ -60,29 +61,45 @@ class ServingClient:
         first request (default True — serving wants cold-start paid at
         boot, not billed to the first caller).
     transport:
-        Scene transport: ``'shm'`` (default) ships scenes once through
-        the content-addressed shared-memory store (repeated scenes are
+        Scene transport: ``'shm'`` ships scenes once through the
+        content-addressed shared-memory store (repeated scenes are
         zero-byte cache hits, and :meth:`put_scene` handles are
         available); ``'copy'`` pickles tile slices per request.  Both
-        are bit-identical to ``run_tiled``.
+        are bit-identical to ``run_tiled``.  ``None`` (default) takes
+        the config's transport.
+    config:
+        The client's default :class:`repro.config.RunConfig`; ``None``
+        resolves to ``RunConfig.default()`` — the fast preset.  Every
+        request inherits it unless it carries its own ``config=``, and
+        the explicit constructor arguments above override its
+        ``jobs``/``backend``/``mp_context``/``transport`` fields.
     """
 
-    def __init__(self, jobs: int = 2, *, mp_context: Any = None,
+    def __init__(self, jobs: Optional[int] = None, *,
+                 mp_context: Any = None,
                  backend: Optional[str] = None,
                  pool: Optional[WorkerPool] = None,
                  max_inflight: Optional[int] = None,
                  warmup: bool = True,
-                 transport: str = "shm"):
+                 transport: Optional[str] = None,
+                 config: Optional[RunConfig] = None):
+        cfg = RunConfig.resolve(config)
+        self.config = cfg
+        if jobs is None:
+            jobs = max(2, cfg.jobs)
+        if backend is None:
+            backend = cfg.backend
         self._owns_pool = pool is None
         if pool is None and mp_context is None:
-            mp_context = serving_mp_context()
+            mp_context = (cfg.mp_context if cfg.mp_context is not None
+                          else serving_mp_context())
         self.pool = pool if pool is not None else WorkerPool(
             jobs, mp_context=mp_context, backend=backend)
         try:
             # validate before warming: a bad max_inflight must not leave
             # an orphaned, already-spawned worker fleet behind
             self.scheduler = Scheduler(self.pool, max_inflight=max_inflight,
-                                       transport=transport)
+                                       transport=transport, config=cfg)
             if warmup:
                 self.pool.warmup()
         except BaseException:
@@ -103,26 +120,32 @@ class ServingClient:
     # ------------------------------------------------------------------
     def submit(self, kernel: str,
                inputs: Optional[Dict[str, np.ndarray]],
-               length: int, *, tile: int, seed: Optional[int] = 0,
+               length: int, *, config: Optional[RunConfig] = None,
+               tile: Optional[int] = None, seed: Optional[int] = None,
                engine_kwargs: Optional[Dict[str, Any]] = None,
                kernel_kwargs: Optional[Dict[str, Any]] = None,
                backend: Optional[str] = None,
                scene: Optional[str] = None
-               ) -> "concurrent.futures.Future":
+               ) -> concurrent.futures.Future:
         """Enqueue one request; the future resolves to ``(image, ledger)``.
 
-        The caller's active execution backend, input arrays and kwargs
-        dicts are captured now, in the calling thread: the backend is
-        process-global and the plan is built later on the loop thread, so
-        without the snapshot a caller reusing/mutating a buffer or kwargs
-        dict after ``submit`` returns would race the request build.
-        ``scene`` (a :meth:`put_scene` digest) replaces ``inputs`` — the
-        request then carries no arrays at all, so nothing is copied here
-        either.
+        ``config`` pins this request's run configuration (default: the
+        client's own config); the explicit arguments override it
+        field-by-field.  The caller's active execution backend, input
+        arrays and kwargs dicts are captured now, in the calling thread:
+        the backend is process-global and the plan is built later on the
+        loop thread, so without the snapshot a caller reusing/mutating a
+        buffer or kwargs dict after ``submit`` returns would race the
+        request build.  ``scene`` (a :meth:`put_scene` digest) replaces
+        ``inputs`` — the request then carries no arrays at all, so
+        nothing is copied here either.
         """
         if self._loop.is_closed():
             raise RuntimeError("ServingClient is closed")
-        backend = backend if backend is not None else get_backend().name
+        if backend is None:
+            req_cfg = config if config is not None else self.config
+            backend = (req_cfg.backend if req_cfg.backend is not None
+                       else get_backend().name)
         if scene is None:
             inputs = {name: np.array(arr, copy=True)
                       for name, arr in inputs.items()}
@@ -130,21 +153,23 @@ class ServingClient:
         kernel_kwargs = dict(kernel_kwargs) if kernel_kwargs else None
         return asyncio.run_coroutine_threadsafe(
             self.scheduler.submit_app(
-                kernel, inputs, length, tile=tile, seed=seed,
-                engine_kwargs=engine_kwargs, kernel_kwargs=kernel_kwargs,
-                backend=backend, scene=scene),
+                kernel, inputs, length, config=config, tile=tile,
+                seed=seed, engine_kwargs=engine_kwargs,
+                kernel_kwargs=kernel_kwargs, backend=backend, scene=scene),
             self._loop)
 
     def request(self, kernel: str,
                 inputs: Optional[Dict[str, np.ndarray]],
-                length: int, *, tile: int, seed: Optional[int] = 0,
+                length: int, *, config: Optional[RunConfig] = None,
+                tile: Optional[int] = None, seed: Optional[int] = None,
                 engine_kwargs: Optional[Dict[str, Any]] = None,
                 kernel_kwargs: Optional[Dict[str, Any]] = None,
                 backend: Optional[str] = None,
                 scene: Optional[str] = None
                 ) -> Tuple[np.ndarray, EnergyLedger]:
         """Blocking single request — submit and wait."""
-        return self.submit(kernel, inputs, length, tile=tile, seed=seed,
+        return self.submit(kernel, inputs, length, config=config,
+                           tile=tile, seed=seed,
                            engine_kwargs=engine_kwargs,
                            kernel_kwargs=kernel_kwargs,
                            backend=backend, scene=scene).result()

@@ -58,6 +58,7 @@ from typing import Any, Dict, List, Optional, Tuple
 import numpy as np
 
 from ..apps import executor as _executor
+from ..config import RunConfig
 from ..energy.model import EnergyLedger
 from .metrics import ServeMetrics
 from .pool import BrokenProcessPool, WorkerPool
@@ -113,30 +114,45 @@ class Scheduler:
         The :class:`~repro.serve.metrics.ServeMetrics` registry to feed;
         a fresh one is created when omitted.
     transport:
-        ``'shm'`` (default) ships each request's scene through the
+        ``'shm'`` ships each request's scene through the
         content-addressed shared-memory
         :class:`~repro.serve.transport.SceneStore` — repeated scenes are
         cache hits shipping zero bytes, and tile tasks carry references
         instead of copied arrays.  ``'copy'`` is the PR 5 behaviour
         (self-contained pickled tile tasks).  Both are bit-identical to
-        ``run_tiled``.
+        ``run_tiled``.  ``None`` (default) takes the config's transport
+        (``'shm'`` on the default preset).
     scene_store:
         Use an existing store instead of owning one (``transport='shm'``
         only; the caller then keeps responsibility for closing it).
+    config:
+        The scheduler's default :class:`repro.config.RunConfig` —
+        applied to every request that doesn't carry its own (see
+        :meth:`submit_app`) and echoed verbatim under ``"config"`` in
+        :meth:`stats`.  ``None`` resolves to ``RunConfig.default()``,
+        the fast preset.  The config's ``jobs`` field is ignored here:
+        the shared pool owns its capacity.
     """
 
     def __init__(self, pool: WorkerPool,
                  max_inflight: Optional[int] = None,
                  metrics: Optional[ServeMetrics] = None,
-                 transport: str = "shm",
-                 scene_store: Optional[SceneStore] = None) -> None:
+                 transport: Optional[str] = None,
+                 scene_store: Optional[SceneStore] = None,
+                 config: Optional[RunConfig] = None) -> None:
         if max_inflight is not None and max_inflight < 1:
             raise ValueError("max_inflight must be >= 1")
+        cfg = RunConfig.resolve(config)
+        if transport is None:
+            transport = cfg.transport
         if transport not in ("shm", "copy"):
             raise ValueError(f"unknown transport {transport!r}; "
                              f"expected 'shm' or 'copy'")
+        if transport != cfg.transport:
+            cfg = cfg.replace(transport=transport)
         if scene_store is not None and transport != "shm":
             raise ValueError("scene_store= requires transport='shm'")
+        self.config = cfg
         self.pool = pool
         self.max_inflight = (max_inflight if max_inflight is not None
                              else pool.capacity)
@@ -163,7 +179,9 @@ class Scheduler:
     async def submit_app(self, kernel: str,
                          inputs: Optional[Dict[str, np.ndarray]],
                          length: int, *,
-                         tile: int, seed: Optional[int] = 0,
+                         config: Optional[RunConfig] = None,
+                         tile: Optional[int] = None,
+                         seed: Optional[int] = None,
                          engine_kwargs: Optional[Dict[str, Any]] = None,
                          kernel_kwargs: Optional[Dict[str, Any]] = None,
                          backend: Optional[str] = None,
@@ -173,12 +191,18 @@ class Scheduler:
 
         Arguments and result match :func:`repro.apps.executor.run_tiled`
         exactly (minus ``jobs``, which the shared pool owns) and so does
-        the output, bit for bit.  ``backend`` pins the request's execution
-        backend explicitly (default: the process-active one at build
-        time); cross-thread callers should pass it, since the active
-        backend is process-global.  ``scene`` submits against a scene
-        handle from :meth:`put_scene` instead of ``inputs`` (shared-memory
-        transport only): the request then ships no scene bytes at all.
+        the output, bit for bit.  ``config`` pins the request's full run
+        configuration (engine model axes, tile, seed, backend); ``None``
+        falls back to the scheduler's own config, and the explicit
+        ``tile``/``seed``/``backend``/``engine_kwargs`` arguments
+        override the config field-by-field, exactly as in the batch
+        path.  ``backend`` pins the request's execution backend
+        explicitly (default: the config's, else the process-active one
+        at build time); cross-thread callers should pass one of the two,
+        since the active backend is process-global.  ``scene`` submits
+        against a scene handle from :meth:`put_scene` instead of
+        ``inputs`` (shared-memory transport only): the request then
+        ships no scene bytes at all.
         """
         loop = asyncio.get_running_loop()
         if self._loop is None:
@@ -191,7 +215,9 @@ class Scheduler:
         t_admit = time.perf_counter()
         try:
             plan = _executor.build_tile_tasks(
-                kernel, inputs, length, tile=tile, seed=seed,
+                kernel, inputs, length,
+                config=config if config is not None else self.config,
+                tile=tile, seed=seed,
                 engine_kwargs=engine_kwargs, kernel_kwargs=kernel_kwargs,
                 backend=backend, scene_store=self.scene_store, scene=scene)
         except KeyError as exc:   # expired/unknown scene handle
@@ -269,6 +295,7 @@ class Scheduler:
             "closed": self.pool.closed,
         }
         snap["transport"] = self.transport
+        snap["config"] = self.config.to_dict()
         if self.scene_store is not None:
             snap["scene_store"] = self.scene_store.stats()
         return snap

@@ -18,6 +18,14 @@ Run request (``"type": "run"``, the default when ``type`` is omitted)::
 
 * ``backend`` pins the request's execution backend (``unpacked`` /
   ``packed``); default is the server process's active backend.
+* ``config`` may carry a full :class:`repro.config.RunConfig` object
+  (``RunConfig.to_dict()`` shape) pinning the request's run
+  configuration — engine model axes, tile, seed, backend — with the
+  same unknown-key strictness as the request envelope; the other
+  request keys override it field-by-field, and ``tile`` may be omitted
+  when the config carries one.  Without it, requests inherit the
+  server's config (echoed under ``"config"`` in the ``stats``
+  response).
 * ``engine_kwargs.fault_rates`` may be a JSON object of
   :class:`~repro.reram.faults.GateFaultRates` fields (``and2``/``or2``/
   ``xor2``/``maj3``/``read``) — decoded into the dataclass here, so
@@ -77,6 +85,7 @@ from typing import Any, Dict, Optional, TextIO, Tuple
 
 import numpy as np
 
+from ..config import RunConfig
 from ..reram.faults import GateFaultRates
 from .pool import WorkerPool, serving_mp_context
 from .scheduler import Scheduler
@@ -87,7 +96,7 @@ __all__ = ["serve_stdio", "decode_request", "encode_response",
 #: Every key a run request may carry; anything else is rejected by name.
 REQUEST_KEYS = frozenset({
     "id", "type", "kernel", "inputs", "length", "tile", "seed",
-    "engine_kwargs", "kernel_kwargs", "backend", "scene",
+    "engine_kwargs", "kernel_kwargs", "backend", "scene", "config",
 })
 
 
@@ -108,21 +117,31 @@ def decode_request(raw: Dict[str, Any]) -> Dict[str, Any]:
         raise ValueError(
             f"unknown request key(s): {', '.join(map(repr, unknown))}; "
             f"valid keys: {', '.join(sorted(REQUEST_KEYS))}")
+    config = None
+    if "config" in raw:
+        # Same strictness as the request envelope: RunConfig.from_dict
+        # rejects unknown/conflicting config keys by name.
+        config = RunConfig.from_dict(raw["config"])
     scene = raw.get("scene")
     if scene is not None and not isinstance(scene, str):
         raise ValueError(f"scene must be a digest string, got {scene!r}")
     if scene is not None and "inputs" in raw:
         raise ValueError("pass either 'inputs' or 'scene', not both")
-    required = ("kernel", "length", "tile") if scene is not None \
-        else ("kernel", "inputs", "length", "tile")
+    required = ("kernel", "length") if scene is not None \
+        else ("kernel", "inputs", "length")
     for key in required:
         if key not in raw:
             raise ValueError(f"request is missing {key!r}")
-    seed = raw.get("seed", 0)
-    if not isinstance(seed, int) or isinstance(seed, bool):
-        raise ValueError(
-            f"seed must be a JSON integer, got {seed!r}: a null/float "
-            f"seed would make served output silently nondeterministic")
+    if "tile" not in raw and (config is None or config.tile is None):
+        raise ValueError("request is missing 'tile'")
+    if "seed" in raw:
+        seed = raw["seed"]
+        if not isinstance(seed, int) or isinstance(seed, bool):
+            raise ValueError(
+                f"seed must be a JSON integer, got {seed!r}: a null/float "
+                f"seed would make served output silently nondeterministic")
+    else:
+        seed = None   # the request config's seed, else the server's
     backend = raw.get("backend")
     if backend is not None and not isinstance(backend, str):
         raise ValueError(f"backend must be a string, got {backend!r}")
@@ -142,12 +161,13 @@ def decode_request(raw: Dict[str, Any]) -> Dict[str, Any]:
         "kernel": raw["kernel"],
         "inputs": inputs,
         "length": int(raw["length"]),
-        "tile": int(raw["tile"]),
+        "tile": int(raw["tile"]) if "tile" in raw else None,
         "seed": seed,
         "engine_kwargs": engine_kwargs,
         "kernel_kwargs": raw.get("kernel_kwargs") or {},
         "backend": backend,
         "scene": scene,
+        "config": config,
     }
 
 
@@ -197,31 +217,47 @@ def encode_stats(req_id: Any, stats: Dict[str, Any]) -> str:
 
 def serve_stdio(in_stream: Optional[TextIO] = None,
                 out_stream: Optional[TextIO] = None, *,
-                jobs: int = 2, mp_context: Any = None,
+                jobs: Optional[int] = None, mp_context: Any = None,
                 backend: Optional[str] = None,
                 max_pending: int = 64,
-                transport: str = "shm") -> int:
+                transport: Optional[str] = None,
+                config: Optional[RunConfig] = None) -> int:
     """Run the serving loop until EOF on ``in_stream``; returns 0.
 
-    ``jobs`` sizes the resident pool, ``mp_context``/``backend`` pin its
-    start method and execution backend.  The default context here is
-    ``forkserver`` where available (not the package-wide ``fork``
-    default): a serving process is multi-threaded for its whole life, and
-    only a forkserver/spawn pool can respawn crashed workers without
-    forking a threaded process.  ``max_pending`` bounds the number of
-    admitted-but-unfinished requests: each one holds its decoded tile
-    plan in memory, so past the bound the loop stops reading stdin until
-    a response goes out (backpressure instead of unbounded growth).
-    ``transport`` picks the scene transport (``'shm'`` zero-copy
-    shared-memory store with scene handles, or ``'copy'`` pickled tile
-    slices); both are bit-identical to ``run_tiled``.
+    ``config`` (a :class:`repro.config.RunConfig`, default
+    ``RunConfig.default()`` — the fast preset) is the server's default
+    run configuration: requests inherit its engine model axes, tile and
+    seed unless they carry their own ``"config"``/explicit keys, and
+    :meth:`Scheduler.stats` echoes it.  The explicit arguments override
+    the config: ``jobs`` sizes the resident pool (default: the config's
+    ``jobs``, but never below 2 — a 1-worker server cannot overlap
+    requests), ``mp_context``/``backend`` pin its start method and
+    execution backend, and ``transport`` picks the scene transport
+    (``'shm'`` zero-copy shared-memory store with scene handles, or
+    ``'copy'`` pickled tile slices; both are bit-identical to
+    ``run_tiled``).  The default context here is ``forkserver`` where
+    available (not the package-wide ``fork`` default): a serving process
+    is multi-threaded for its whole life, and only a forkserver/spawn
+    pool can respawn crashed workers without forking a threaded process.
+    ``max_pending`` bounds the number of admitted-but-unfinished
+    requests: each one holds its decoded tile plan in memory, so past
+    the bound the loop stops reading stdin until a response goes out
+    (backpressure instead of unbounded growth).
     """
     if max_pending < 1:
         raise ValueError("max_pending must be >= 1")
+    cfg = RunConfig.resolve(config)
+    if jobs is None:
+        jobs = max(2, cfg.jobs)
+    if backend is None:
+        backend = cfg.backend
+    if transport is None:
+        transport = cfg.transport
     in_stream = in_stream if in_stream is not None else sys.stdin
     out_stream = out_stream if out_stream is not None else sys.stdout
     if mp_context is None:
-        mp_context = serving_mp_context()
+        mp_context = (cfg.mp_context if cfg.mp_context is not None
+                      else serving_mp_context())
 
     async def _serve(pool: WorkerPool) -> None:
         loop = asyncio.get_running_loop()
@@ -289,7 +325,7 @@ def serve_stdio(in_stream: Optional[TextIO] = None,
             else:
                 await respond(encode_response(req_id, image, ledger))
 
-        scheduler = Scheduler(pool, transport=transport)
+        scheduler = Scheduler(pool, transport=transport, config=cfg)
         while True:
             line = await loop.run_in_executor(None, in_stream.readline)
             if not line:

@@ -1,6 +1,5 @@
 """Unit/integration tests for repro.analysis (tables, experiments, sweeps)."""
 
-import numpy as np
 import pytest
 
 from repro.analysis.tables import dict_grid_to_rows, format_value, render_table

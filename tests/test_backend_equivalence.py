@@ -27,6 +27,7 @@ from repro.core.sng import ComparatorSng, IdealBitSource, SegmentSng, unary_stre
 from repro.core.rng import Lfsr, SoftwareRng
 from repro.core.streambatch import StreamBatch
 from repro.apps import run_app
+from repro.config import RunConfig
 from repro.imsc.engine import InMemorySCEngine
 from repro.reram.faults import GateFaultRates
 
@@ -440,17 +441,38 @@ class TestFaultyEngineEquivalence:
 # ----------------------------------------------------------------------
 # run_app: sharded executor equivalence + quality pinned to seed values
 # ----------------------------------------------------------------------
-# Seeded quality of the *untiled* SC pipeline (length=64, size=24, seed=3),
-# recorded from the pre-refactor per-pixel implementation.  Any drift means
-# the stream bits changed.
-PINNED_RUN_APP = {
-    # app: (faulty, ssim_pct, psnr_db)
+# Seeded quality of the *untiled* SC pipeline (length=64, size=24, seed=3).
+#
+# Two pin sets since the fast-path release:
+#
+# * ORACLE — recorded from the pre-refactor per-pixel implementation
+#   (per-bit S-to-B, dense fault masks).  ``RunConfig.oracle()`` must keep
+#   reproducing these bit-exactly forever: they are the bridge to every
+#   pre-release trajectory.  Any drift means the oracle stream bits
+#   changed.
+# * FAST — recorded at the defaults flip under ``RunConfig.fast()``
+#   (column S-to-B, sparse fault masks; the package default).  Any drift
+#   means the fast-path draws changed.
+#
+# Both sets are backend-invariant (packed and unpacked produce identical
+# streams) — only the cell_model/fault_sampling axes separate them.
+PINNED_RUN_APP_ORACLE = {
+    # (app, faulty): (ssim_pct, psnr_db)
     ("compositing", False): (92.0743228902705, 28.529692781849363),
     ("compositing", True): (90.15592830612565, 27.56678281921518),
     ("interpolation", False): (88.38105346722713, 28.35142099982967),
     ("interpolation", True): (79.76320811304551, 27.21821222058037),
     ("matting", False): (97.38044101019061, 35.28308203957352),
     ("matting", True): (94.61673326969256, 32.665413628096395),
+}
+PINNED_RUN_APP_FAST = {
+    # (app, faulty): (ssim_pct, psnr_db)
+    ("compositing", False): (91.98246556038569, 28.533232847609366),
+    ("compositing", True): (91.08000989464522, 26.91474867552891),
+    ("interpolation", False): (87.70983918927287, 28.196425303837763),
+    ("interpolation", True): (81.14824629357494, 27.37768335136721),
+    ("matting", False): (97.53157884218786, 35.58039388996416),
+    ("matting", True): (94.21609220052596, 32.5457763920081),
 }
 
 
@@ -460,8 +482,21 @@ class TestRunAppSharding:
     @pytest.mark.parametrize("app", ("compositing", "interpolation",
                                      "matting"))
     def test_quality_pinned_vs_seed_values(self, app, faulty):
+        """Bare run_app (no config) runs the fast preset, pinned per seed."""
         r = run_app(app, "sc", length=64, size=24, seed=3, faulty=faulty)
-        ssim, psnr = PINNED_RUN_APP[(app, faulty)]
+        ssim, psnr = PINNED_RUN_APP_FAST[(app, faulty)]
+        assert r.ssim_pct == pytest.approx(ssim, rel=1e-9)
+        assert r.psnr_db == pytest.approx(psnr, rel=1e-9)
+
+    @pytest.mark.parametrize("faulty", (False, True),
+                             ids=("fault-free", "faulty"))
+    @pytest.mark.parametrize("app", ("compositing", "interpolation",
+                                     "matting"))
+    def test_oracle_preset_reproduces_historical_pins(self, app, faulty):
+        """RunConfig.oracle() is bit-exact vs the pre-release goldens."""
+        r = run_app(app, "sc", length=64, size=24, seed=3, faulty=faulty,
+                    config=RunConfig.oracle())
+        ssim, psnr = PINNED_RUN_APP_ORACLE[(app, faulty)]
         assert r.ssim_pct == pytest.approx(ssim, rel=1e-9)
         assert r.psnr_db == pytest.approx(psnr, rel=1e-9)
 
@@ -475,8 +510,12 @@ class TestRunAppSharding:
         assert fan.ledger.latency_s == pytest.approx(base.ledger.latency_s)
 
     def test_faulty_tiled_matches_per_bit_oracle(self):
+        # Explicit dense on the word side: the fast default would sample
+        # sparse masks, and only dense word flips are bit-identical to
+        # the per-bit domain oracle (which is dense by definition).
         word = run_app("matting", "sc", length=32, size=20, seed=9,
-                       faulty=True, tile=8, jobs=2, fault_domain="word")
+                       faulty=True, tile=8, jobs=2, fault_domain="word",
+                       fault_sampling="dense")
         bit = run_app("matting", "sc", length=32, size=20, seed=9,
                       faulty=True, tile=8, jobs=1, fault_domain="bit")
         np.testing.assert_array_equal(word.output, bit.output)

@@ -1,13 +1,10 @@
 """Tests for repro.core.deterministic (exact SC via exhaustive pairing)."""
 
-import math
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.bitstream import Bitstream
 from repro.core.deterministic import (
     clock_division_pair,
     deterministic_multiply,

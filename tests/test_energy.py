@@ -1,11 +1,10 @@
 """Unit tests for repro.energy (ledger, params, NVMain-style simulator)."""
 
-import numpy as np
 import pytest
 
 from repro.energy.model import EnergyLedger, replay_trace
 from repro.energy.nvmain import MemorySystem, TraceRequest
-from repro.energy.params import DEFAULT_RERAM_COSTS, ReRamStepCosts
+from repro.energy.params import DEFAULT_RERAM_COSTS
 from repro.energy.traces import (
     imsng_trace,
     pipelined_flow_trace,

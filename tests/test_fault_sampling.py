@@ -16,7 +16,7 @@ import numpy as np
 import pytest
 
 from repro.apps import run_app
-from repro.apps.executor import pool_map, run_tiled
+from repro.apps.executor import run_tiled
 from repro.apps.filters import (
     contrast_stretch_float,
     contrast_stretch_inputs,

@@ -24,7 +24,7 @@ import time
 import numpy as np
 import pytest
 
-from repro.apps.executor import KERNELS, pool_map, run_tiled
+from repro.apps.executor import KERNELS, run_tiled
 from repro.apps.filters import gamma_correct_inputs, mean_filter_inputs
 from repro.apps.images import natural_scene
 from repro.core.backend import use_backend

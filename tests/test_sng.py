@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core.correlation import scc
-from repro.core.rng import CounterRng, SobolRng, SoftwareRng
+from repro.core.rng import SobolRng, SoftwareRng
 from repro.core.sng import (
     BiasedBitSource,
     ComparatorSng,

@@ -19,6 +19,7 @@ that ride with it:
 """
 
 import asyncio
+import gc
 import multiprocessing
 import os
 import subprocess
@@ -36,17 +37,22 @@ from repro.core.backend import get_backend, use_backend
 from repro.core.streambatch import StreamBatch
 from repro.imsc.engine import InMemorySCEngine
 from repro.serve import SceneStore, Scheduler, ServingClient, WorkerPool
-from repro.serve.transport import (
-    SCENE_PREFIX,
-    SceneTileRef,
-    fetch_tile,
-    scene_digest,
-)
+from repro.serve.transport import SCENE_PREFIX, fetch_tile, scene_digest
 
 HAS_FORK = "fork" in multiprocessing.get_all_start_methods()
 needs_fork = pytest.mark.skipif(
     not HAS_FORK, reason="test kernels are registered in-process and reach "
                          "the workers only under the fork start method")
+
+
+@pytest.fixture(autouse=True)
+def _collect_stray_stores():
+    """Schedulers left to the garbage collector by other test modules
+    unlink their scene store through a ``weakref.finalize`` callback; run
+    the collector first so the ``/dev/shm`` census below only ever sees
+    segments created by the current test."""
+    gc.collect()
+    yield
 
 
 def _image(size=12, seed=3):
@@ -388,7 +394,8 @@ class TestValidationCache:
                 calls["n"] += 1
                 super().__init__(*args, **kwargs)
 
-        monkeypatch.setattr(executor, "InMemorySCEngine", Counting)
+        # the probe resolves the engine from its home module at call time
+        monkeypatch.setattr("repro.imsc.engine.InMemorySCEngine", Counting)
         executor._ENGINE_PROBE_CACHE.clear()
         kwargs = {"cell_model": "column", "fault_sampling": "sparse"}
         for _ in range(3):
@@ -410,7 +417,7 @@ class TestValidationCache:
                 calls["n"] += 1
                 super().__init__(*args, **kwargs)
 
-        monkeypatch.setattr(executor, "InMemorySCEngine", Counting)
+        monkeypatch.setattr("repro.imsc.engine.InMemorySCEngine", Counting)
         executor._ENGINE_PROBE_CACHE.clear()
         for _ in range(2):
             with pytest.raises(ValueError, match="cell_model"):
