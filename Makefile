@@ -12,16 +12,16 @@ PYTEST = PYTHONPATH=src $(PYTHON) -m pytest
 
 test: lint test-unpacked test-packed bench-smoke serve-smoke
 
-# Lint gate: ruff (version-pinned + configured in pyproject.toml) when
-# it is installed, otherwise the dependency-free stdlib checker in
-# tools/lint.py — same rule set either way, so CI and the hermetic
-# container agree.
+# Lint gate.  repro-lint (tools/repro_lint/, dependency-free) always
+# runs: it carries both the project-invariant rules RL001-RL005 and a
+# stdlib mirror of the pyproject ruff selection, so the hermetic
+# container enforces the same floor as CI.  When ruff is installed it
+# runs first for the richer diagnostics on the shared hygiene rules.
 lint:
 	@if command -v ruff >/dev/null 2>&1; then \
 		echo "ruff check"; ruff check .; \
-	else \
-		$(PYTHON) tools/lint.py; \
 	fi
+	PYTHONPATH=tools $(PYTHON) -m repro_lint
 
 test-unpacked:
 	REPRO_BACKEND=unpacked $(PYTEST) -x -q

@@ -63,8 +63,8 @@ def composite_sc_kernel(engine: InMemorySCEngine, foreground: np.ndarray,
     f, b, a = foreground, background, alpha
     fb = StreamBatch.from_bitstream(
         engine.generate_correlated(np.stack([f, b]), length))
-    sf = fb.select(0).to_bitstream()
-    sb = fb.select(1).to_bitstream()
+    sf = fb.select(0).to_bitstream()  # repro-lint: disable=RL003 -- zero-copy payload wrap
+    sb = fb.select(1).to_bitstream()  # repro-lint: disable=RL003 -- zero-copy payload wrap
     if use_mux:
         # Conventional MUX (select = alpha, 1 -> foreground), priced like a
         # single-step op for an apples-to-apples accuracy ablation.

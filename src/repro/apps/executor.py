@@ -275,25 +275,29 @@ def build_tile_tasks(kernel: str, inputs: Optional[Dict[str, np.ndarray]],
     if backend is None:
         backend = cfg.backend
     engine_kwargs = cfg.merged_engine_kwargs(engine_kwargs)
-    ticket = None
     if scene is not None:
         if scene_store is None:
             raise ValueError("scene= (a digest) requires scene_store=")
         if inputs is not None:
             raise ValueError("pass either inputs or scene=, not both")
-        fields, (height, width) = scene_store.checkout(scene)
-        from ..serve.transport import SceneTicket
-        ticket = SceneTicket(scene, True, 0)
-        input_names = [name for name, _, _, _ in fields]
-    else:
-        if inputs is None:
-            raise ValueError("inputs is required without scene=")
-        shapes = {v.shape for v in inputs.values()}
-        if len(shapes) != 1 or any(len(s) != 2 for s in shapes):
-            raise ValueError("tiled inputs must share one 2-D shape")
-        (height, width), = shapes
-        input_names = list(inputs)
+    elif inputs is None:
+        raise ValueError("inputs is required without scene=")
+    ticket = None
     try:
+        # Everything from the checkout/publish ref-acquire onward sits
+        # inside this try: any exception before the plan is returned must
+        # drop the store reference, or the scene never unlinks (RL005).
+        if scene is not None:
+            fields, (height, width) = scene_store.checkout(scene)
+            from ..serve.transport import SceneTicket
+            ticket = SceneTicket(scene, True, 0)
+            input_names = [name for name, _, _, _ in fields]
+        else:
+            shapes = {v.shape for v in inputs.values()}
+            if len(shapes) != 1 or any(len(s) != 2 for s in shapes):
+                raise ValueError("tiled inputs must share one 2-D shape")
+            (height, width), = shapes
+            input_names = list(inputs)
         grid = tile_grid(height, width, tile)
         children = np.random.SeedSequence(seed).spawn(len(grid))
         backend_name = get_backend(backend).name

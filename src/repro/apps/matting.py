@@ -59,9 +59,9 @@ def matting_sc_kernel(engine: InMemorySCEngine, composite: np.ndarray,
     stacked = np.stack([composite, background, foreground])
     streams = StreamBatch.from_bitstream(
         engine.generate_correlated(stacked, length))
-    si = streams.select(0).to_bitstream()
-    sb = streams.select(1).to_bitstream()
-    sf = streams.select(2).to_bitstream()
+    si = streams.select(0).to_bitstream()  # repro-lint: disable=RL003 -- zero-copy payload wrap
+    sb = streams.select(1).to_bitstream()  # repro-lint: disable=RL003 -- zero-copy payload wrap
+    sf = streams.select(2).to_bitstream()  # repro-lint: disable=RL003 -- zero-copy payload wrap
     num = engine.abs_subtract(si, sb)    # |I - B|
     den = engine.abs_subtract(sf, sb)    # |F - B|
     alpha = engine.divide(num, den)      # CORDIV: num/den

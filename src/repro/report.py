@@ -78,6 +78,8 @@ def bench_record(bench: str, config: Dict[str, Any],
     record = {
         "schema": BENCH_SCHEMA_VERSION,
         "bench": bench,
+        # benchmark-record timestamp: metadata only, never feeds results
+        # repro-lint: disable=RL001 -- BENCH_*.json provenance stamp; no computed value depends on it
         "utc": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
         "config": _pyify(config),
         "results": _pyify(results),

@@ -106,6 +106,7 @@ def _warmup_pid(delay: float) -> int:
     without it one fast worker can drain every warmup task while the
     others are still spawning.
     """
+    # repro-lint: disable=RL004 -- runs inside a pool worker process, never on the serving event loop
     time.sleep(delay)
     return os.getpid()
 

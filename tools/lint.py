@@ -1,165 +1,27 @@
-"""Dependency-free lint gate: the `make lint` fallback when ruff is absent.
+"""Dependency-free lint gate: delegates to the repro_lint framework.
 
-The container this repo grows in has no linter installed and nothing may
-be pip-installed, so `make lint` prefers ruff (configured and
-version-pinned in ``pyproject.toml``) and falls back to this stdlib AST
-checker.  It enforces the subset of ruff's E/F rules that catch real
-rot in this codebase:
+Historically this file *was* the checker (the stdlib AST fallback for
+``make lint`` when ruff is absent).  It has since grown into the
+plugin-based framework in ``tools/repro_lint/`` — stdlib hygiene rules
+(the ruff-mirror subset E9/F401/F811/W191/W291/W292, still kept in sync
+with pyproject.toml's ``select`` list) plus the project-invariant rules
+RL001–RL005.  This shim remains so ``python tools/lint.py`` and the
+Makefile keep working unchanged; it is exactly
+``PYTHONPATH=tools python -m repro_lint``.
 
-* **syntax errors** (anything unparseable fails immediately);
-* **unused imports** (F401) — module-level and nested, with the two
-  sanctioned escape hatches: explicit re-exports spelled ``import X as
-  X`` / ``from m import X as X`` (the PEP 484 convention ruff honours
-  too) and names listed in ``__all__``;
-* **duplicate imports** of the same name in the same scope (F811-lite);
-* **trailing whitespace** and **tabs in indentation** (W291/W191-lite);
-* **missing newline at end of file** (W292).
-
-Run: ``python tools/lint.py [paths...]`` (default: the repo's Python
-roots).  Exit code 1 if any finding, listing every one as
-``path:line: code message``.
+The historical ``iter_py_files`` bug — nonexistent path arguments were
+silently skipped, so a typo'd path linted nothing and exited 0 — is fixed
+in the framework's discovery: unknown paths are a hard error (exit 2).
 """
 
 from __future__ import annotations
 
-import ast
 import pathlib
 import sys
-from typing import Iterator, List, Tuple
 
-REPO = pathlib.Path(__file__).resolve().parent.parent
-DEFAULT_ROOTS = ("src", "tests", "benchmarks", "examples", "tools")
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
 
-Finding = Tuple[pathlib.Path, int, str, str]
-
-
-def iter_py_files(args: List[str]) -> Iterator[pathlib.Path]:
-    roots = [pathlib.Path(a) for a in args] if args else \
-        [REPO / r for r in DEFAULT_ROOTS]
-    for root in roots:
-        if root.is_file():
-            yield root
-        elif root.is_dir():
-            yield from sorted(root.rglob("*.py"))
-
-
-class _ImportCollector(ast.NodeVisitor):
-    """Collect imported bindings and every name usage in one pass."""
-
-    def __init__(self) -> None:
-        self.imports: List[Tuple[str, int, bool]] = []  # (name, line, alias)
-        self.used: set = set()
-        self.exported: set = set()
-
-    def visit_Import(self, node: ast.Import) -> None:
-        for alias in node.names:
-            explicit = alias.asname is not None
-            bound = alias.asname or alias.name.split(".")[0]
-            # `import numpy.linalg` binds `numpy`; `import x.y as z` binds z
-            redundant = explicit and alias.asname == alias.name
-            self.imports.append((bound, node.lineno, redundant))
-
-    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
-        if node.module == "__future__":
-            return
-        for alias in node.names:
-            if alias.name == "*":
-                continue
-            bound = alias.asname or alias.name
-            redundant = alias.asname is not None \
-                and alias.asname == alias.name
-            self.imports.append((bound, node.lineno, redundant))
-
-    def visit_Name(self, node: ast.Name) -> None:
-        if isinstance(node.ctx, ast.Load):
-            self.used.add(node.id)
-        self.generic_visit(node)
-
-    def visit_Attribute(self, node: ast.Attribute) -> None:
-        # record the root name of dotted access (np.array -> np)
-        self.generic_visit(node)
-
-    def visit_Assign(self, node: ast.Assign) -> None:
-        # names listed in __all__ count as used (public re-exports)
-        for target in node.targets:
-            if isinstance(target, ast.Name) and target.id == "__all__":
-                for elt in ast.walk(node.value):
-                    if isinstance(elt, ast.Constant) \
-                            and isinstance(elt.value, str):
-                        self.exported.add(elt.value)
-        self.generic_visit(node)
-
-
-def check_source(path: pathlib.Path, source: str) -> List[Finding]:
-    findings: List[Finding] = []
-    try:
-        tree = ast.parse(source, filename=str(path))
-    except SyntaxError as exc:
-        findings.append((path, exc.lineno or 0, "E999",
-                         f"syntax error: {exc.msg}"))
-        return findings
-
-    collector = _ImportCollector()
-    collector.visit(tree)
-    # F811 only looks at module-level imports: deferred imports inside
-    # two different functions legitimately bind the same name.
-    top_level = {node.lineno for node in tree.body
-                 if isinstance(node, (ast.Import, ast.ImportFrom))}
-    seen_lines: dict = {}
-    for name, lineno, redundant in collector.imports:
-        if redundant:
-            continue   # `import X as X`: the sanctioned re-export spelling
-        if lineno in top_level:
-            prev = seen_lines.get(name)
-            if prev is not None and prev != lineno:
-                findings.append((path, lineno, "F811",
-                                 f"redefinition of imported name {name!r} "
-                                 f"(first import at line {prev})"))
-            seen_lines.setdefault(name, lineno)
-        if name in collector.used or name in collector.exported:
-            continue
-        if name == "_":
-            continue
-        findings.append((path, lineno, "F401",
-                         f"{name!r} imported but unused"))
-
-    lines = source.splitlines()
-    for i, line in enumerate(lines, 1):
-        stripped = line.rstrip("\n")
-        if stripped != stripped.rstrip():
-            findings.append((path, i, "W291", "trailing whitespace"))
-        indent = stripped[:len(stripped) - len(stripped.lstrip())]
-        if "\t" in indent:
-            findings.append((path, i, "W191", "tab in indentation"))
-    if source and not source.endswith("\n"):
-        findings.append((path, len(lines), "W292",
-                         "no newline at end of file"))
-    return findings
-
-
-def main(argv: List[str]) -> int:
-    findings: List[Finding] = []
-    count = 0
-    for path in iter_py_files(argv):
-        count += 1
-        try:
-            source = path.read_text(encoding="utf-8")
-        except (OSError, UnicodeDecodeError) as exc:
-            findings.append((path, 0, "E902", f"unreadable: {exc}"))
-            continue
-        findings.extend(check_source(path, source))
-    for path, lineno, code, message in findings:
-        try:
-            shown = path.relative_to(REPO)
-        except ValueError:
-            shown = path
-        print(f"{shown}:{lineno}: {code} {message}")
-    if findings:
-        print(f"\n{len(findings)} finding(s) in {count} file(s)")
-        return 1
-    print(f"lint clean: {count} file(s)")
-    return 0
-
+from repro_lint.cli import main  # noqa: E402  (path bootstrap above)
 
 if __name__ == "__main__":
     raise SystemExit(main(sys.argv[1:]))

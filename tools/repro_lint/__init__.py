@@ -1,0 +1,36 @@
+"""repro-lint: project-invariant static analysis for this repository.
+
+A dependency-free, plugin-based analyzer that proves the codebase's
+runtime invariants at lint time: determinism (RL001), worker-pool pickle
+safety (RL002), the packed hot path never unpacking (RL003), a
+never-blocked serving event loop (RL004) and paired shared-memory
+releases (RL005) — plus the stdlib hygiene subset mirroring the ruff
+config (E9/F401/F811/W191/W291/W292).
+
+Run ``python -m repro_lint --help`` (with ``tools/`` on ``PYTHONPATH``)
+or ``python tools/lint.py``; ``--explain RL00x`` prints the catalogue
+entry for a rule.  See ``engine.py`` for the suppression and baseline
+mechanics.
+"""
+
+from .engine import (
+    DEFAULT_BASELINE as DEFAULT_BASELINE,
+    DEFAULT_ROOTS as DEFAULT_ROOTS,
+    FileContext as FileContext,
+    Finding as Finding,
+    PathError as PathError,
+    Project as Project,
+    REPO as REPO,
+    RUFF_SELECT as RUFF_SELECT,
+    RULES as RULES,
+    Rule as Rule,
+    STDLIB_CODES as STDLIB_CODES,
+    explain as explain,
+    iter_py_files as iter_py_files,
+    load_baseline as load_baseline,
+    load_plugins as load_plugins,
+    register as register,
+    run_paths as run_paths,
+    run_sources as run_sources,
+)
+from .cli import main as main

@@ -1,0 +1,8 @@
+"""Entry point: ``PYTHONPATH=tools python -m repro_lint [paths...]``."""
+
+import sys
+
+from .cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

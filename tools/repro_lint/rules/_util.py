@@ -1,0 +1,41 @@
+"""Small AST helpers shared by the rule plugins."""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional
+
+
+def dotted(node: ast.AST) -> Optional[str]:
+    """Render a Name/Attribute chain as ``a.b.c`` (None if not a chain)."""
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def call_name(node: ast.Call) -> Optional[str]:
+    """Dotted name of a call's callee (``np.random.rand`` for that call)."""
+    return dotted(node.func)
+
+
+def enclosing_function(ctx, node: ast.AST) -> Optional[ast.AST]:
+    """The nearest enclosing (async or plain) function definition."""
+    for _, parent in ctx.ancestors(node):
+        if isinstance(parent, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return parent
+    return None
+
+
+def in_async_body(ctx, node: ast.AST) -> bool:
+    """True when the *nearest* enclosing function is ``async def``.
+
+    A sync ``def`` nested inside an ``async def`` shields its body: that
+    code runs wherever the closure is called (often ``run_in_executor``),
+    not on the event loop.
+    """
+    return isinstance(enclosing_function(ctx, node), ast.AsyncFunctionDef)

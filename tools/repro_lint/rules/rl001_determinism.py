@@ -1,0 +1,101 @@
+"""RL001 — determinism: no hidden entropy sources in the library.
+
+``jobs=1 == jobs=N`` and every golden pin in the test suite rest on all
+randomness flowing through an explicitly seeded ``numpy.random.Generator``
+(derived from a ``SeedSequence`` chain).  One unseeded ``default_rng()``,
+one legacy ``np.random.<dist>`` global-state call, one ``random.random()``
+or one wall-clock read inside the library silently breaks that contract —
+and only shows up as an unreproducible golden-test flake much later.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..engine import FileContext, Finding, Rule, register
+from ._util import call_name
+
+#: numpy.random attributes that are part of the *seeded* API surface.
+_NP_RANDOM_OK = frozenset({
+    "SeedSequence", "Generator", "BitGenerator", "default_rng",
+    "PCG64", "PCG64DXSM", "Philox", "SFC64", "MT19937", "RandomState",
+})
+
+#: stdlib `random` module functions (global-state; all banned).
+_RANDOM_FUNCS = frozenset({
+    "random", "randint", "randrange", "randbytes", "choice", "choices",
+    "shuffle", "sample", "uniform", "triangular", "betavariate",
+    "expovariate", "gammavariate", "gauss", "lognormvariate",
+    "normalvariate", "vonmisesvariate", "paretovariate", "weibullvariate",
+    "getrandbits", "seed", "Random", "SystemRandom",
+})
+
+#: dotted wall-clock reads (timezone/NTP-dependent values).
+_WALL_CLOCK = frozenset({
+    "time.time", "time.time_ns", "time.ctime", "time.localtime",
+    "time.gmtime", "time.strftime", "time.asctime",
+})
+
+#: wall-clock constructors on datetime/date objects.
+_DATETIME_READS = frozenset({"now", "utcnow", "today"})
+
+
+def _check(ctx: FileContext) -> Iterable[Finding]:
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = call_name(node)
+        if name is None:
+            continue
+        parts = name.split(".")
+        if name in ("np.random.default_rng", "numpy.random.default_rng",
+                    "default_rng") and not node.args and not node.keywords:
+            yield Finding(
+                ctx.relpath, node.lineno, "RL001",
+                "argument-less default_rng() seeds from the OS — thread "
+                "a SeedSequence/Generator (or an integer seed) instead")
+        elif (name.startswith(("np.random.", "numpy.random."))
+                and parts[-1] not in _NP_RANDOM_OK):
+            yield Finding(
+                ctx.relpath, node.lineno, "RL001",
+                f"legacy global-state call {name}(): draws from the "
+                f"hidden module RNG; use an explicit seeded Generator")
+        elif (len(parts) == 2 and parts[0] == "random"
+                and parts[1] in _RANDOM_FUNCS):
+            yield Finding(
+                ctx.relpath, node.lineno, "RL001",
+                f"stdlib {name}() uses interpreter-global RNG state; use "
+                f"a seeded numpy Generator threaded from the caller")
+        elif name in _WALL_CLOCK or (
+                len(parts) >= 2 and parts[-1] in _DATETIME_READS
+                and any(p in ("datetime", "date") for p in parts[:-1])):
+            yield Finding(
+                ctx.relpath, node.lineno, "RL001",
+                f"wall-clock read {name}() makes output depend on when "
+                f"it runs; monotonic timers (time.perf_counter / "
+                f"time.monotonic) are fine for durations")
+
+
+register(Rule(
+    code="RL001", name="determinism",
+    summary="Ban unseeded/global RNGs and wall-clock reads in src/repro/.",
+    explain="""\
+Flags, anywhere under src/repro/ (benchmarks/, tests/, examples/ and
+tools/ are out of scope — harness timing code is legitimate there):
+
+* `np.random.default_rng()` with no arguments — seeds from OS entropy,
+  silently breaking the jobs=1 == jobs=N bit-identity contract;
+* legacy `np.random.<dist>(...)` global-state calls (rand, randn,
+  randint, choice, shuffle, seed, ...) — the seeded surface
+  (SeedSequence, Generator, default_rng(seed), bit generators) is fine;
+* stdlib `random.<fn>(...)` — interpreter-global state;
+* wall-clock reads: `time.time()`, `datetime.now()/utcnow()/today()`,
+  `time.localtime()` etc.  Monotonic *duration* timers
+  (`time.perf_counter`, `time.monotonic`) are deliberately allowed —
+  the serving metrics use them and they never feed computed results.
+
+Fix by threading a `numpy.random.SeedSequence`/`Generator` from the
+caller (see core/rng.py and the per-tile spawn in apps/executor.py).""",
+    scope=lambda relpath: relpath.startswith("src/repro/"),
+    file_check=_check))

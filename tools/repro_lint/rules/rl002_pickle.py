@@ -1,0 +1,155 @@
+"""RL002 — pool-boundary pickle safety.
+
+Everything crossing the ``WorkerPool`` boundary is pickled (under every
+start method the serving layer uses — spawn and forkserver pickle the
+callable too, not just the arguments).  A lambda, a function nested
+inside another function, or a bound method of a function-local object
+pickles never or only by accident — and the failure surfaces as an opaque
+``PicklingError`` from a worker, far from the call site.  This rule moves
+that failure to lint time.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Optional, Tuple
+
+from ..engine import FileContext, Finding, Rule, register
+
+#: plain-name calls whose callable/kernel argument crosses the boundary
+_NAME_TARGETS = {
+    "pool_map": ("fn", 0),
+    "run_tiled": ("kernel", 0),
+    "build_tile_tasks": ("kernel", 0),
+}
+#: method calls whose first argument crosses the boundary (WorkerPool's
+#: submit/map; ServingClient.submit takes a kernel *name* string, which
+#: this rule never flags, so the shared method name is harmless)
+_ATTR_TARGETS = {"submit", "map"}
+#: constructors whose every argument is shipped to workers
+_CTOR_TARGETS = {"EngineFactory"}
+
+
+class _Scope:
+    """Names bound locally inside one enclosing function."""
+
+    def __init__(self, func: ast.AST) -> None:
+        self.variables: set = {a.arg for a in func.args.args
+                               + func.args.posonlyargs
+                               + func.args.kwonlyargs}
+        if func.args.vararg:
+            self.variables.add(func.args.vararg.arg)
+        if func.args.kwarg:
+            self.variables.add(func.args.kwarg.arg)
+        self.functions: set = set()
+        self.lambda_vars: set = set()
+        self._prescan(func)
+
+    def _prescan(self, func: ast.AST) -> None:
+        todo = list(ast.iter_child_nodes(func))
+        while todo:
+            node = todo.pop()
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self.functions.add(node.name)
+                continue   # deeper bindings belong to the nested scope
+            if isinstance(node, ast.Lambda):
+                continue
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        self.variables.add(target.id)
+                        if isinstance(node.value, ast.Lambda):
+                            self.lambda_vars.add(target.id)
+            elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+                if isinstance(node.target, ast.Name):
+                    self.variables.add(node.target.id)
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                for n in ast.walk(node.target):
+                    if isinstance(n, ast.Name):
+                        self.variables.add(n.id)
+            elif isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    if isinstance(item.optional_vars, ast.Name):
+                        self.variables.add(item.optional_vars.id)
+            todo.extend(ast.iter_child_nodes(node))
+
+
+def _offending_args(node: ast.Call) -> List[Tuple[ast.AST, str]]:
+    """(arg node, boundary description) pairs this call ships to workers."""
+    func = node.func
+    out: List[Tuple[ast.AST, str]] = []
+    if isinstance(func, ast.Name) and func.id in _NAME_TARGETS:
+        kw_name, pos = _NAME_TARGETS[func.id]
+        arg = next((k.value for k in node.keywords if k.arg == kw_name),
+                   node.args[pos] if len(node.args) > pos else None)
+        if arg is not None:
+            out.append((arg, f"{func.id}({kw_name}=...)"))
+    elif isinstance(func, ast.Attribute) and func.attr in _ATTR_TARGETS:
+        if node.args:
+            out.append((node.args[0], f".{func.attr}(...)"))
+    elif isinstance(func, ast.Name) and func.id in _CTOR_TARGETS:
+        for arg in node.args:
+            out.append((arg, f"{func.id}(...)"))
+        for kw in node.keywords:
+            out.append((kw.value, f"{func.id}({kw.arg}=...)"))
+    return out
+
+
+def _classify(arg: ast.AST, scopes: List[_Scope]) -> Optional[str]:
+    if isinstance(arg, ast.Lambda):
+        return "a lambda"
+    if isinstance(arg, ast.Name):
+        if any(arg.id in s.functions for s in scopes):
+            return f"nested function {arg.id!r}"
+        if any(arg.id in s.lambda_vars for s in scopes):
+            return f"lambda-valued local {arg.id!r}"
+    if (isinstance(arg, ast.Attribute)
+            and isinstance(arg.value, ast.Name)
+            and any(arg.value.id in s.variables for s in scopes)):
+        return (f"bound method {arg.value.id}.{arg.attr} of a "
+                f"function-local object")
+    return None
+
+
+def _check(ctx: FileContext) -> Iterable[Finding]:
+    findings: List[Finding] = []
+
+    def visit(node: ast.AST, scopes: List[_Scope]) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            scopes = scopes + [_Scope(node)]
+        elif isinstance(node, ast.Call) and scopes:
+            for arg, boundary in _offending_args(node):
+                why = _classify(arg, scopes)
+                if why is not None:
+                    findings.append(Finding(
+                        ctx.relpath, arg.lineno, "RL002",
+                        f"{why} passed across the worker-pool boundary "
+                        f"via {boundary}: not picklable under "
+                        f"spawn/forkserver — use a module-level function "
+                        f"(or a picklable factory like EngineFactory)"))
+        for child in ast.iter_child_nodes(node):
+            visit(child, scopes)
+
+    visit(ctx.tree, [])
+    return findings
+
+
+register(Rule(
+    code="RL002", name="pool-pickle-safety",
+    summary="Callables crossing the WorkerPool boundary must be picklable.",
+    explain="""\
+Flags, at any call to pool_map(fn, ...), WorkerPool .submit/.map,
+run_tiled/build_tile_tasks(kernel=...) or EngineFactory(...):
+
+* a lambda (or a local variable assigned a lambda),
+* a function nested inside the calling function,
+* a bound method of a function-local object (`obj.meth` where `obj` is a
+  parameter or local variable),
+
+because the pool pickles the callable under spawn/forkserver and these
+forms fail (or capture unpicklable state) at runtime, as an opaque
+worker-side PicklingError.  Module-level functions, KERNELS name strings
+and picklable factories (EngineFactory) are the sanctioned currencies.
+Module-scope calls are exempt: only function bodies can close over
+function-local state.""",
+    file_check=_check))

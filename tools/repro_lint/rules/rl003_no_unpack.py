@@ -1,0 +1,199 @@
+"""RL003 — no-unpack hot path (project rule: kernel reachability).
+
+The packed backend's whole speedup rests on registered application
+kernels staying in the word domain end to end.  The runtime no-unpack
+asserts catch a violation only on the code path a test happens to
+execute; this rule proves it statically for every function reachable from
+the kernel registry.
+
+Reachability is a conservative, name-based static call graph:
+
+* roots are the functions registered in ``apps/executor.KERNELS``;
+* an edge follows every plain-name call (``helper(...)``) resolved
+  through the module's own top-level functions and its ``from . import``
+  map (relative imports within src/repro/);
+* method calls (``engine.maj(...)``, ``batch.select(...)``) are *not*
+  followed — the engine/StreamBatch layer keeps its own runtime
+  no-unpack asserts, and following untyped attribute calls would drown
+  the rule in false edges.
+
+Inside the reachable set the rule flags the bit-expansion markers:
+``.to_bits()``, ``.to_bitstream()`` (flagged so every use is *audited*:
+the StreamBatch payload wrap is zero-copy, and each call site must say so
+with a justified suppression), ``np.unpackbits`` and per-bit Python
+loops over the stream length.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..engine import Finding, Project, Rule, register
+
+_EXECUTOR = "src/repro/apps/executor.py"
+_UNPACK_ATTRS = frozenset({"to_bits", "to_bitstream"})
+_LOOP_NAMES = frozenset({"length", "n_bits", "nbits"})
+
+FuncKey = Tuple[str, str]   # (relpath, function name)
+
+
+def _top_level_functions(tree: ast.AST) -> Dict[str, ast.AST]:
+    return {node.name: node for node in tree.body
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))}
+
+
+def _relative_target(relpath: str, level: int,
+                     module: Optional[str]) -> Optional[str]:
+    """Resolve ``from ..m import x`` in ``relpath`` to a module relpath."""
+    parts = relpath.split("/")[:-1]
+    if level - 1 > len(parts):
+        return None
+    if level > 1:
+        parts = parts[:len(parts) - (level - 1)]
+    if module:
+        parts = parts + module.split(".")
+    return "/".join(parts) + ".py"
+
+
+def _import_map(relpath: str, tree: ast.AST) -> Dict[str, FuncKey]:
+    """imported-name -> (defining module relpath, original name)."""
+    out: Dict[str, FuncKey] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.level > 0:
+            target = _relative_target(relpath, node.level, node.module)
+            if target is None:
+                continue
+            for alias in node.names:
+                if alias.name != "*":
+                    out[alias.asname or alias.name] = (target, alias.name)
+    return out
+
+
+def _kernel_roots(project: Project) -> List[Tuple[str, FuncKey]]:
+    """(kernel registry name, function key) for every KERNELS entry."""
+    executor = project.by_path.get(_EXECUTOR)
+    if executor is None or executor.tree is None:
+        return []
+    funcs = _top_level_functions(executor.tree)
+    imports = _import_map(_EXECUTOR, executor.tree)
+    roots: List[Tuple[str, FuncKey]] = []
+    for node in executor.tree.body:
+        if not (isinstance(node, ast.Assign)
+                and any(isinstance(t, ast.Name) and t.id == "KERNELS"
+                        for t in node.targets)
+                and isinstance(node.value, ast.Dict)):
+            continue
+        for key, value in zip(node.value.keys, node.value.values):
+            if not isinstance(value, ast.Name):
+                continue
+            reg_name = (key.value if isinstance(key, ast.Constant)
+                        else value.id)
+            if value.id in funcs:
+                roots.append((str(reg_name), (_EXECUTOR, value.id)))
+            elif value.id in imports:
+                roots.append((str(reg_name), imports[value.id]))
+    return roots
+
+
+def _call_edges(relpath: str, func: ast.AST,
+                funcs: Dict[str, ast.AST],
+                imports: Dict[str, FuncKey]) -> Iterable[FuncKey]:
+    for node in ast.walk(func):
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            name = node.func.id
+            if name in funcs:
+                yield (relpath, name)
+            elif name in imports:
+                yield imports[name]
+
+
+def _scan_markers(relpath: str, func: ast.AST,
+                  witness: str) -> Iterable[Finding]:
+    for node in ast.walk(func):
+        if isinstance(node, ast.Call):
+            f = node.func
+            if isinstance(f, ast.Attribute) and f.attr in _UNPACK_ATTRS:
+                yield Finding(
+                    relpath, node.lineno, "RL003",
+                    f".{f.attr}() on the hot path (reachable from "
+                    f"registered kernel {witness!r}): must be zero-copy "
+                    f"word-domain interop — audit and suppress with a "
+                    f"justification, or stay in the word domain")
+            elif ((isinstance(f, ast.Attribute) and f.attr == "unpackbits")
+                    or (isinstance(f, ast.Name)
+                        and f.id == "unpackbits")):
+                yield Finding(
+                    relpath, node.lineno, "RL003",
+                    f"np.unpackbits on the hot path (reachable from "
+                    f"registered kernel {witness!r}): expands the packed "
+                    f"payload to one byte per bit")
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            it = node.iter
+            if (isinstance(it, ast.Call) and isinstance(it.func, ast.Name)
+                    and it.func.id == "range"
+                    and any((isinstance(a, ast.Name)
+                             and a.id in _LOOP_NAMES)
+                            or (isinstance(a, ast.Attribute)
+                                and a.attr in _LOOP_NAMES)
+                            for a in it.args)):
+                yield Finding(
+                    relpath, node.lineno, "RL003",
+                    f"per-bit Python loop over the stream length "
+                    f"(reachable from registered kernel {witness!r}): "
+                    f"the word backends exist so this never happens")
+
+
+def _check(project: Project) -> Iterable[Finding]:
+    tables: Dict[str, Dict[str, ast.AST]] = {}
+    imports: Dict[str, Dict[str, FuncKey]] = {}
+    for ctx in project.files:
+        if ctx.tree is not None and ctx.relpath.startswith("src/repro/"):
+            tables[ctx.relpath] = _top_level_functions(ctx.tree)
+            imports[ctx.relpath] = _import_map(ctx.relpath, ctx.tree)
+
+    reached: Dict[FuncKey, str] = {}
+    queue: List[Tuple[FuncKey, str]] = []
+    for reg_name, key in _kernel_roots(project):
+        if key[0] in tables and key[1] in tables[key[0]]:
+            queue.append((key, reg_name))
+    while queue:
+        key, witness = queue.pop()
+        if key in reached:
+            continue
+        reached[key] = witness
+        relpath, name = key
+        func = tables[relpath][name]
+        for edge in _call_edges(relpath, func, tables[relpath],
+                                imports[relpath]):
+            if (edge not in reached and edge[0] in tables
+                    and edge[1] in tables[edge[0]]):
+                queue.append((edge, witness))
+
+    findings: List[Finding] = []
+    for (relpath, name), witness in sorted(reached.items()):
+        findings.extend(_scan_markers(relpath, tables[relpath][name],
+                                      witness))
+    return findings
+
+
+register(Rule(
+    code="RL003", name="no-unpack-hot-path",
+    summary="Kernel-reachable code must never expand packed bit payloads.",
+    explain="""\
+Builds a name-based static call graph rooted at the functions registered
+in apps/executor.KERNELS (following plain-name calls through relative
+imports inside src/repro/; method calls are not followed — the
+engine/StreamBatch layer keeps its runtime no-unpack asserts) and flags,
+anywhere in the reachable set:
+
+* `.to_bits()` / `.to_bitstream()` calls — to_bitstream *is* a zero-copy
+  payload wrap today, which is exactly why every call site must carry a
+  justified suppression: the audit trail is the point, and a future
+  packing change cannot silently ride an unaudited call;
+* `np.unpackbits(...)` — the definitional unpack;
+* `for ... in range(length)`-style per-bit Python loops.
+
+Before this rule these were only caught by runtime no-unpack asserts on
+whichever configuration a test happened to execute.""",
+    project_check=_check))

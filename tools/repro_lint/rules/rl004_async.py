@@ -1,0 +1,81 @@
+"""RL004 — blocking calls in the asyncio serving layer.
+
+One synchronous sleep or blocking wait inside an ``async def`` under
+src/repro/serve/ parks the entire event loop: every in-flight request
+stalls, the stdio front-end stops reading, and under backpressure the
+whole server can deadlock against a pipelining client.  The scheduler's
+fairness and latency contracts all assume the loop never blocks.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..engine import FileContext, Finding, Rule, register
+from ._util import call_name, in_async_body
+
+#: dotted callee names that block the calling thread outright
+_BLOCKING_CALLS = frozenset({
+    "time.sleep", "os.system", "subprocess.run", "subprocess.call",
+    "subprocess.check_call", "subprocess.check_output",
+    "socket.create_connection", "urllib.request.urlopen",
+})
+#: builtins that perform synchronous I/O when called on the loop
+_BLOCKING_BUILTINS = frozenset({"open", "input"})
+
+
+def _check(ctx: FileContext) -> Iterable[Finding]:
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = call_name(node)
+        in_async = in_async_body(ctx, node)
+        if name == "time.sleep":
+            # Flagged everywhere under serve/ (not just async bodies):
+            # this layer's sync methods run on or adjacent to the loop
+            # thread, and the legitimate worker-side exceptions must be
+            # documented with a justified suppression.
+            where = ("inside an async def" if in_async
+                     else "in the serving layer")
+            yield Finding(
+                ctx.relpath, node.lineno, "RL004",
+                f"time.sleep {where} blocks the event loop; use "
+                f"await asyncio.sleep(...) (or justify a worker-side "
+                f"sleep with a suppression)")
+        elif not in_async:
+            continue
+        elif (isinstance(node.func, ast.Attribute)
+                and node.func.attr == "result" and not node.args):
+            yield Finding(
+                ctx.relpath, node.lineno, "RL004",
+                "synchronous Future.result() inside an async def blocks "
+                "the loop until the future resolves; await an asyncio "
+                "wrapper (wrap_future / run_in_executor) instead")
+        elif name in _BLOCKING_CALLS or name in _BLOCKING_BUILTINS:
+            yield Finding(
+                ctx.relpath, node.lineno, "RL004",
+                f"blocking call {name}(...) inside an async def; move "
+                f"it off-loop via loop.run_in_executor(...)")
+
+
+register(Rule(
+    code="RL004", name="blocking-in-async",
+    summary="No synchronous blocking on the serve/ event loop.",
+    explain="""\
+Scope: src/repro/serve/ only.  Flags:
+
+* `time.sleep(...)` anywhere in the layer — inside `async def` it parks
+  the loop outright; in sync helpers it is allowed only with a justified
+  suppression (e.g. the worker-side warmup dwell in serve/pool.py, which
+  runs in a pool worker process, never on the loop);
+* inside `async def` bodies additionally: `concurrent.futures`-style
+  `.result()` (use `asyncio.wrap_future`/`run_in_executor`), `open()`,
+  `input()`, `subprocess.*`, `os.system`, socket/urllib connects.
+
+A sync `def` nested inside an `async def` is exempt: its body runs where
+the closure is invoked (typically handed to `run_in_executor`, like the
+stdio front-end's off-loop response writer).  `asyncio.sleep` and awaited
+executor hops never match.""",
+    scope=lambda relpath: relpath.startswith("src/repro/serve/"),
+    file_check=_check))

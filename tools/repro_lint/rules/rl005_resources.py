@@ -1,0 +1,110 @@
+"""RL005 — resource pairing for shared-memory scenes.
+
+A ``SharedMemory(create=True)`` segment or a ``SceneStore``
+``publish``/``checkout`` reference that is not released on *every* exit
+path leaks ``/dev/shm`` blocks (until reboot — these outlive the process)
+or strands a scene refcount so its segment never unlinks.  The store's
+tests catch the paths they execute; this rule proves the pairing shape
+statically: every acquire must sit inside a ``try`` whose ``finally`` (or
+exception handler) releases, and silent ``except: pass`` swallowing is
+banned outright.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..engine import FileContext, Finding, Rule, register
+
+#: attribute calls that acquire a scene-store reference
+_ACQUIRE_ATTRS = frozenset({"publish", "checkout"})
+#: calls that count as a release inside a handler/finally
+_RELEASE_ATTRS = frozenset({"release", "unpin", "close", "unlink",
+                            "shutdown"})
+_RELEASE_NAMES = frozenset({"_unlink_quiet"})
+
+
+def _is_acquire(node: ast.Call) -> str:
+    func = node.func
+    if (isinstance(func, ast.Attribute) or isinstance(func, ast.Name)):
+        name = func.attr if isinstance(func, ast.Attribute) else func.id
+        if name == "SharedMemory" and any(
+                k.arg == "create" and isinstance(k.value, ast.Constant)
+                and k.value.value is True for k in node.keywords):
+            return "SharedMemory(create=True)"
+        if isinstance(func, ast.Attribute) and name in _ACQUIRE_ATTRS:
+            return f".{name}()"
+    return ""
+
+
+def _has_release(body) -> bool:
+    for stmt in body:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Call):
+                f = node.func
+                if isinstance(f, ast.Attribute) and f.attr in _RELEASE_ATTRS:
+                    return True
+                if isinstance(f, ast.Name) and f.id in _RELEASE_NAMES:
+                    return True
+    return False
+
+
+def _protected(ctx: FileContext, node: ast.AST) -> bool:
+    """Is ``node`` inside a try whose finally/handlers release resources?"""
+    for child, parent in ctx.ancestors(node):
+        if not isinstance(parent, ast.Try):
+            continue
+        in_body = any(child is stmt for stmt in parent.body) or \
+            any(child is stmt for stmt in parent.orelse)
+        if not in_body:
+            continue
+        if parent.finalbody:
+            return True
+        if any(_has_release(h.body) for h in parent.handlers):
+            return True
+    return False
+
+
+def _check(ctx: FileContext) -> Iterable[Finding]:
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Call):
+            what = _is_acquire(node)
+            if what and not _protected(ctx, node):
+                yield Finding(
+                    ctx.relpath, node.lineno, "RL005",
+                    f"{what} acquires a shared-memory resource outside "
+                    f"any try/finally (or try/except that releases): an "
+                    f"exception on the way to the paired release leaks "
+                    f"the segment/refcount")
+        elif isinstance(node, ast.ExceptHandler):
+            if node.type is None and all(isinstance(s, ast.Pass)
+                                         for s in node.body):
+                yield Finding(
+                    ctx.relpath, node.lineno, "RL005",
+                    "bare 'except: pass' silently swallows every error "
+                    "(including KeyboardInterrupt and teardown failures "
+                    "that leak resources); catch something specific")
+
+
+register(Rule(
+    code="RL005", name="resource-pairing",
+    summary="Every shm/scene acquire must release on all exit paths.",
+    explain="""\
+Scope: src/repro/ (tests exercise unpaired acquires on purpose).  Flags:
+
+* `SharedMemory(create=True)` or a `.publish(...)`/`.checkout(...)`
+  scene-store acquire whose call site is not lexically inside a `try`
+  block that pairs it — i.e. one with a `finally:` (assumed to clean
+  up), or an exception handler whose body calls `.release`/`.unpin`/
+  `.close`/`.unlink`/`_unlink_quiet`;
+* bare `except: pass` — it swallows the very exceptions the pairing
+  exists for.
+
+Store-internal acquisition (SceneStore._new_segment, pin's
+publish-then-convert) transfers ownership to the store's refcount
+tables, whose close()/finalizer path unlinks; those sites are
+grandfathered in baseline.json with that justification rather than
+restructured into artificial try blocks.""",
+    scope=lambda relpath: relpath.startswith("src/repro/"),
+    file_check=_check))
