@@ -6,7 +6,8 @@
 PYTHON ?= python
 PYTEST = PYTHONPATH=src $(PYTHON) -m pytest
 
-.PHONY: test lint test-unpacked test-packed test-faulty test-serving \
+.PHONY: test lint lint-changed test-unpacked test-packed test-faulty \
+	test-serving \
 	bench-smoke serve-smoke bench-backend bench-apps bench-faults \
 	bench-serve bench-serve-load bench-serve-soak bench-transport bench
 
@@ -22,6 +23,13 @@ lint:
 		echo "ruff check"; ruff check .; \
 	fi
 	PYTHONPATH=tools $(PYTHON) -m repro_lint
+
+# Fast pre-push loop: lint only the files changed against REF (default
+# main).  Partial view — the unused-suppression and stale-baseline
+# checks are skipped; the full `make lint` gate still runs everything.
+REF ?= main
+lint-changed:
+	PYTHONPATH=tools $(PYTHON) -m repro_lint --changed-since $(REF)
 
 test-unpacked:
 	REPRO_BACKEND=unpacked $(PYTEST) -x -q

@@ -196,6 +196,22 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "scatters the sites into the packed payload "
                              "(statistically conformant, much faster at "
                              "the paper's gate rates)")
+    parser.add_argument("--fault-domain", choices=["word", "bit"],
+                        default=None, dest="fault_domain",
+                        help="fault-application domain for faulty SC runs "
+                             "(table4), overriding the preset: 'word' "
+                             "applies packed masks in the word domain "
+                             "(default), 'bit' is the per-bit conformance "
+                             "oracle (bit-identical per seed; requires "
+                             "dense sampling, so combine it with "
+                             "--fault-sampling dense)")
+    parser.add_argument("--mp-context", choices=["fork", "forkserver",
+                                                 "spawn"],
+                        default=None, dest="mp_context",
+                        help="multiprocessing start method for worker "
+                             "pools (--jobs > 1 and 'serve'), overriding "
+                             "the preset's pinned platform default; "
+                             "results are start-method-invariant")
     parser.add_argument("--backend", choices=available_backends(),
                         default=None,
                         help="bit-stream execution backend (overrides the "
@@ -216,6 +232,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                  (("backend", args.backend), ("jobs", args.jobs),
                   ("tile", args.tile), ("cell_model", args.cell_model),
                   ("fault_sampling", args.fault_sampling),
+                  ("fault_domain", args.fault_domain),
+                  ("mp_context", args.mp_context),
                   ("transport", args.transport), ("seed", args.seed))
                  if value is not None}
     try:

@@ -50,7 +50,8 @@ from __future__ import annotations
 import dataclasses
 import inspect
 from functools import lru_cache
-from typing import Any, Callable, Dict, Optional, Sequence, Tuple, Union
+from typing import (Any, Callable, ClassVar, Dict, Optional, Sequence,
+                    Tuple, Union)
 
 __all__ = ["RunConfig", "validate_task_kwargs"]
 
@@ -163,10 +164,50 @@ class RunConfig:
     # ------------------------------------------------------------------
     # presets
     # ------------------------------------------------------------------
+    #: Every preset names *every* field explicitly, even where it matches
+    #: the dataclass default.  That redundancy is deliberate: a new field
+    #: cannot silently ride a preset on its default value, and the lint
+    #: config-coherence rule (RL007) checks this table for completeness
+    #: so a missing entry fails the gate, not a user.
+    PRESET_FIELDS: ClassVar[Dict[str, Dict[str, Any]]] = {
+        "fast": {
+            "backend": None,          # inherit process-active (packed)
+            "cell_model": "column",
+            "fault_sampling": "sparse",
+            "fault_domain": "word",
+            "transport": "shm",
+            "jobs": 1,
+            "tile": None,
+            "mp_context": None,
+            "seed": 0,
+        },
+        "oracle": {
+            "backend": None,
+            "cell_model": "per-bit",
+            "fault_sampling": "dense",
+            "fault_domain": "word",
+            "transport": "shm",
+            "jobs": 1,
+            "tile": None,
+            "mp_context": None,
+            "seed": 0,
+        },
+    }
+
+    @classmethod
+    def _from_preset_table(cls, name: str, overrides: Dict[str, Any]
+                           ) -> "RunConfig":
+        fields = dict(cls.PRESET_FIELDS[name])
+        missing = sorted(set(cls.field_names()) - set(fields))
+        if missing:   # belt-and-braces behind the RL007 static check
+            raise RuntimeError(
+                f"preset {name!r} is missing field(s): {', '.join(missing)}")
+        return cls(**fields).replace(**overrides)
+
     @classmethod
     def fast(cls, **overrides: Any) -> "RunConfig":
         """The fast-path preset: packed + column + sparse (+ shm)."""
-        return cls().replace(**overrides)
+        return cls._from_preset_table("fast", overrides)
 
     @classmethod
     def oracle(cls, **overrides: Any) -> "RunConfig":
@@ -175,8 +216,7 @@ class RunConfig:
         Reproduces the pre-release pinned golden quality values
         bit-exactly for a given seed.
         """
-        base = cls(cell_model="per-bit", fault_sampling="dense")
-        return base.replace(**overrides)
+        return cls._from_preset_table("oracle", overrides)
 
     @classmethod
     def default(cls) -> "RunConfig":

@@ -1,10 +1,13 @@
 """Tests for the repro-lint static-analysis framework (tools/repro_lint).
 
-Every project rule (RL001-RL005) gets fixture tests proving a true
+Every project rule (RL001-RL008) gets fixture tests proving a true
 positive and a silenced case (inline suppression or baseline entry).
 The framework tests cover the suppression grammar, the baseline
-lifecycle, path handling (a typo'd path must fail the gate, not lint
-nothing), the CLI exit codes, and the pyproject ruff-selection mirror.
+lifecycle, path handling (a typo'd path or an empty directory must fail
+the gate, not lint nothing), the CLI exit codes, the pyproject
+ruff-selection mirror, the call-graph resolver's edge cases, the
+content-hash result cache, the SARIF serialisation, and the ``--fix``
+autofixes.
 """
 
 from __future__ import annotations
@@ -22,14 +25,19 @@ REPO = pathlib.Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO / "tools"))
 
 from repro_lint import engine
+from repro_lint.cache import LintCache
 from repro_lint.cli import main
 from repro_lint.engine import (
     BaselineEntry,
+    FileContext,
+    Finding,
     PathError,
     iter_py_files,
     load_baseline,
     run_sources,
 )
+from repro_lint.fixes import fix_source
+from repro_lint.sarif import to_sarif
 
 EXECUTOR = "src/repro/apps/executor.py"
 
@@ -359,6 +367,316 @@ class TestRL005ResourcePairing:
 
 
 # ---------------------------------------------------------------------------
+# RL006 — seed flow (data-flow pass)
+# ---------------------------------------------------------------------------
+class TestRL006SeedFlow:
+    def test_flags_literal_seed(self):
+        res = _run([("src/repro/fake.py", """\
+            import numpy as np
+
+
+            def sample():
+                return np.random.default_rng(1234)
+            """)])
+        assert _codes(res) == ["RL006"]
+        assert res.findings[0].line == 5
+        assert "literal integer seed 1234" in res.findings[0].message
+
+    def test_flags_seed_laundered_through_a_local(self):
+        res = _run([("src/repro/fake.py", """\
+            import numpy as np
+
+
+            def sample():
+                s = 42
+                return np.random.default_rng(s)
+            """)])
+        assert _codes(res) == ["RL006"]
+        assert res.findings[0].line == 6
+
+    def test_flags_module_level_literal_seed(self):
+        res = _run([("src/repro/fake.py", """\
+            import numpy as np
+
+            RNG = np.random.default_rng(7)
+            """)])
+        assert _codes(res) == ["RL006"]
+        assert res.findings[0].line == 3
+
+    def test_flags_discarded_spawn_children(self):
+        res = _run([("src/repro/fake.py", """\
+            def shift(seed_seq):
+                seed_seq.spawn(3)
+                return seed_seq
+            """)])
+        assert _codes(res) == ["RL006"]
+        assert "discarded" in res.findings[0].message
+
+    def test_flags_seedsequence_consumed_twice(self):
+        res = _run([("src/repro/fake.py", """\
+            import numpy as np
+
+
+            def pair(seed):
+                ss = np.random.SeedSequence(seed)
+                a = np.random.default_rng(ss)
+                b = np.random.default_rng(ss)
+                return a, b
+            """)])
+        assert _codes(res) == ["RL006"]
+        assert res.findings[0].line == 7
+        assert "bit-identical" in res.findings[0].message
+
+    def test_derived_seed_idioms_are_clean(self):
+        res = _run([("src/repro/fake.py", """\
+            import numpy as np
+
+
+            class Engine:
+                def __init__(self, seed):
+                    self._seed = seed
+
+                def make_rng(self):
+                    return np.random.default_rng(self._seed)
+
+
+            def coerce(rng_or_seed):
+                if isinstance(rng_or_seed, np.random.Generator):
+                    return rng_or_seed
+                return np.random.default_rng(rng_or_seed)
+
+
+            def split(seed_seq, n):
+                children = seed_seq.spawn(n)
+                return [np.random.default_rng(c) for c in children]
+            """)])
+        assert res.clean
+
+    def test_scope_excludes_tests_and_benchmarks(self):
+        res = _run([("tests/fake_seed.py", """\
+            import numpy as np
+
+            RNG = np.random.default_rng(1234)
+            """)])
+        assert "RL006" not in _codes(res)
+
+    def test_suppression_for_golden_fixture_stream(self):
+        res = _run([("src/repro/fake.py", """\
+            import numpy as np
+
+
+            def golden():
+                return np.random.default_rng(1234)  # repro-lint: disable=RL006 -- pinned golden-file stream
+            """)])
+        assert res.clean
+        assert len(res.suppressed) == 1
+
+
+# ---------------------------------------------------------------------------
+# RL007 — RunConfig coherence (project rule)
+# ---------------------------------------------------------------------------
+class TestRL007ConfigCoherence:
+    FIXTURE = ("src/fixture/config.py", """\
+        from dataclasses import asdict, dataclass, fields
+        from typing import Any, ClassVar, Dict
+
+
+        @dataclass(frozen=True)
+        class RunConfig:
+            \"\"\"Fixture config.
+
+            alpha:
+                the fully covered field.
+            \"\"\"
+
+            alpha: int = 0
+            beta: int = 0
+
+            PRESET_FIELDS: ClassVar[Dict[str, Dict[str, Any]]] = {
+                "fast": {"alpha": 0},
+            }
+
+            def __post_init__(self):
+                if self.alpha < 0:
+                    raise ValueError("alpha")
+
+            def to_dict(self):
+                return asdict(self)
+
+            @classmethod
+            def from_dict(cls, data):
+                names = {f.name for f in fields(cls)}
+                return cls(**{k: v for k, v in data.items()
+                              if k in names})
+        """)
+
+    def test_neglected_field_flagged_on_every_missing_surface(self):
+        res = _run([self.FIXTURE], select=["RL007"])
+        messages = [f.message for f in res.findings]
+        assert len(messages) == 3
+        assert all("'beta'" in m for m in messages)
+        assert any("__post_init__" in m for m in messages)
+        assert any("docstring" in m for m in messages)
+        assert any("preset 'fast'" in m for m in messages)
+
+    def test_preset_key_that_is_not_a_field_is_flagged(self):
+        path, source = self.FIXTURE
+        source = source.replace('"fast": {"alpha": 0},',
+                                '"fast": {"alpha": 0, "gamma": 1},')
+        res = _run([(path, source)], select=["RL007"])
+        assert any("'gamma'" in f.message and "not a RunConfig field"
+                   in f.message for f in res.findings)
+
+    def _real_pair(self):
+        config = (REPO / "src" / "repro" / "config.py").read_text(
+            encoding="utf-8")
+        cli = (REPO / "src" / "repro" / "cli.py").read_text(
+            encoding="utf-8")
+        return config, cli
+
+    def test_real_config_and_cli_are_coherent(self):
+        config, cli = self._real_pair()
+        res = run_sources([("src/repro/config.py", config),
+                           ("src/repro/cli.py", cli)], select=["RL007"])
+        assert res.clean
+
+    def test_deleting_a_cli_flag_fails_rl007(self):
+        config, cli = self._real_pair()
+        assert '"--seed"' in cli
+        mutated = cli.replace('"--seed"', '"--xseed"')
+        res = run_sources([("src/repro/config.py", config),
+                           ("src/repro/cli.py", mutated)],
+                          select=["RL007"])
+        assert any(f.code == "RL007" and "no --seed flag" in f.message
+                   for f in res.findings)
+
+    def test_deleting_a_preset_entry_fails_rl007(self):
+        config, cli = self._real_pair()
+        assert config.count('"seed": 0,') == 2
+        mutated = config.replace('"seed": 0,', "", 1)
+        res = run_sources([("src/repro/config.py", mutated),
+                           ("src/repro/cli.py", cli)], select=["RL007"])
+        assert any(f.code == "RL007"
+                   and "'seed' missing from preset" in f.message
+                   for f in res.findings)
+
+
+# ---------------------------------------------------------------------------
+# RL008 — whole-program async concurrency (project rule)
+# ---------------------------------------------------------------------------
+class TestRL008AsyncConcurrency:
+    def test_flags_unawaited_coroutine(self):
+        res = _run([("src/repro/serve/fake.py", """\
+            async def fetch_scene(req):
+                return req
+
+
+            async def handler(req):
+                fetch_scene(req)
+                return None
+            """)])
+        assert _codes(res) == ["RL008"]
+        assert res.findings[0].line == 6
+        assert "never awaited" in res.findings[0].message
+
+    def test_flags_dropped_create_task_handle(self):
+        res = _run([("src/repro/serve/fake.py", """\
+            import asyncio
+
+
+            async def handler(coro):
+                asyncio.create_task(coro)
+            """)])
+        assert _codes(res) == ["RL008"]
+        assert "dropped" in res.findings[0].message
+
+    def test_flags_thread_lock_held_across_await(self):
+        res = _run([("src/repro/core/fake.py", """\
+            import asyncio
+            import threading
+
+
+            class Store:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                async def update(self, key):
+                    with self._lock:
+                        await asyncio.sleep(0)
+            """)])
+        assert _codes(res) == ["RL008"]
+        assert res.findings[0].line == 10
+        assert "held across await" in res.findings[0].message
+
+    def test_flags_transitively_blocking_call_outside_serve_scope(self):
+        res = _run([("src/repro/core/fake.py", """\
+            import time
+
+
+            def helper():
+                time.sleep(1)
+
+
+            def middle():
+                return helper()
+
+
+            async def handler():
+                return middle()
+            """)])
+        assert _codes(res) == ["RL008"]
+        assert res.findings[0].line == 13
+        assert "time.sleep" in res.findings[0].message
+
+    def test_flags_nested_function_forwarded_to_pool_boundary(self):
+        res = _run([("src/repro/apps/fake.py", """\
+            def fan(pool_map, fn, items):
+                return pool_map(fn, items)
+
+
+            def outer(pool_map, items):
+                def helper(x):
+                    return x + 1
+
+                return fan(pool_map, helper, items)
+            """)])
+        assert _codes(res) == ["RL008"]
+        assert res.findings[0].line == 9
+        assert "pickle boundary" in res.findings[0].message
+
+    def test_awaited_and_bound_idioms_are_clean(self):
+        res = _run([("src/repro/serve/fake.py", """\
+            import asyncio
+
+
+            async def fetch_scene(req):
+                return req
+
+
+            async def handler(req):
+                result = await fetch_scene(req)
+                task = asyncio.create_task(fetch_scene(req))
+                async with asyncio.Lock():
+                    await asyncio.sleep(0)
+                return result, await task
+            """)])
+        assert res.clean
+
+    def test_suppression_for_fire_and_forget(self):
+        res = _run([("src/repro/serve/fake.py", """\
+            async def probe(req):
+                return req
+
+
+            async def handler(req):
+                probe(req)  # repro-lint: disable=RL008 -- fixture: deliberate fire-and-forget probe
+                return None
+            """)])
+        assert res.clean
+        assert len(res.suppressed) == 1
+
+
+# ---------------------------------------------------------------------------
 # suppression mechanics
 # ---------------------------------------------------------------------------
 class TestSuppressions:
@@ -525,6 +843,234 @@ class TestHygieneRules:
 
 
 # ---------------------------------------------------------------------------
+# call-graph resolution edge cases (RL003 rides the shared resolver)
+# ---------------------------------------------------------------------------
+class TestCallGraph:
+    def test_aliased_module_import_resolves(self):
+        res = _run([
+            (EXECUTOR, """\
+                from .kernels import demo_kernel as dk
+
+                KERNELS = {"demo": dk}
+                """),
+            ("src/repro/apps/kernels.py", """\
+                from repro.apps import deep as d
+
+
+                def demo_kernel(stream):
+                    return d.helper(stream)
+                """),
+            ("src/repro/apps/deep.py", """\
+                def helper(stream):
+                    return stream.to_bits()
+                """),
+        ])
+        rl003 = [f for f in res.findings if f.code == "RL003"]
+        assert [(f.relpath, f.line) for f in rl003] == \
+            [("src/repro/apps/deep.py", 2)]
+
+    def test_reexport_through_package_init_resolves(self):
+        res = _run([
+            (EXECUTOR, """\
+                from .lib import helper_kernel
+
+                KERNELS = {"demo": helper_kernel}
+                """),
+            ("src/repro/apps/lib/__init__.py", """\
+                from .impl import helper_kernel as helper_kernel
+                """),
+            ("src/repro/apps/lib/impl.py", """\
+                def helper_kernel(stream):
+                    return stream.to_bits()
+                """),
+        ])
+        rl003 = [f for f in res.findings if f.code == "RL003"]
+        assert [(f.relpath, f.line) for f in rl003] == \
+            [("src/repro/apps/lib/impl.py", 2)]
+
+    def test_method_reached_via_self_resolves(self):
+        res = _run([
+            (EXECUTOR, """\
+                from .runner import run_kernel
+
+                KERNELS = {"demo": run_kernel}
+                """),
+            ("src/repro/apps/runner.py", """\
+                class Runner:
+                    def run(self, stream):
+                        return self.step(stream)
+
+                    def step(self, stream):
+                        return stream.to_bits()
+
+
+                def run_kernel(stream):
+                    return Runner().run(stream)
+                """),
+        ])
+        rl003 = [f for f in res.findings if f.code == "RL003"]
+        assert [(f.relpath, f.line) for f in rl003] == \
+            [("src/repro/apps/runner.py", 6)]
+
+    def test_decorated_kernel_still_resolves(self):
+        res = _run([
+            (EXECUTOR, """\
+                from .deco import demo_kernel
+
+                KERNELS = {"demo": demo_kernel}
+                """),
+            ("src/repro/apps/deco.py", """\
+                import functools
+
+
+                @functools.lru_cache(maxsize=None)
+                def demo_kernel(stream):
+                    return stream.to_bits()
+                """),
+        ])
+        rl003 = [f for f in res.findings if f.code == "RL003"]
+        assert [(f.relpath, f.line) for f in rl003] == \
+            [("src/repro/apps/deco.py", 6)]
+
+    def test_call_cycles_terminate(self):
+        res = _run([
+            (EXECUTOR, """\
+                from .cyc import ping_kernel
+
+                KERNELS = {"demo": ping_kernel}
+                """),
+            ("src/repro/apps/cyc.py", """\
+                def ping_kernel(stream, depth):
+                    if depth:
+                        return pong(stream, depth - 1)
+                    return stream.to_bits()
+
+
+                def pong(stream, depth):
+                    return ping_kernel(stream, depth)
+                """),
+        ])
+        rl003 = [f for f in res.findings if f.code == "RL003"]
+        assert [(f.relpath, f.line) for f in rl003] == \
+            [("src/repro/apps/cyc.py", 4)]
+
+
+# ---------------------------------------------------------------------------
+# content-hash result cache
+# ---------------------------------------------------------------------------
+class TestCache:
+    FILES = [("src/repro/fake.py", """\
+        import time
+
+
+        def stamp():
+            return time.time()
+        """)]
+
+    def test_warm_run_replays_findings_without_parsing(self, tmp_path):
+        cache = LintCache(tmp_path)
+        cold = _run(self.FILES, cache=cache)
+        cache.save()
+        warm_cache = LintCache(tmp_path)
+        before = FileContext.parsed_total
+        warm = _run(self.FILES, cache=warm_cache)
+        assert FileContext.parsed_total == before
+        assert warm.findings == cold.findings
+        assert warm_cache.hits == 1 and warm_cache.misses == 0
+
+    def test_content_change_misses_and_relints(self, tmp_path):
+        cache = LintCache(tmp_path)
+        assert "RL001" in _codes(_run(self.FILES, cache=cache))
+        cache.save()
+        fixed = [("src/repro/fake.py", """\
+            import time
+
+
+            def stamp():
+                return time.perf_counter()
+            """)]
+        warm = _run(fixed, cache=LintCache(tmp_path))
+        assert warm.clean
+
+    def test_suppression_accounting_stays_live_from_cache(self, tmp_path):
+        files = [("src/repro/fake.py", """\
+            import time
+
+
+            def stamp():
+                return time.time()  # repro-lint: disable=RL001 -- provenance only
+            """)]
+        cache = LintCache(tmp_path)
+        cold = _run(files, cache=cache)
+        assert cold.clean and len(cold.suppressed) == 1
+        cache.save()
+        before = FileContext.parsed_total
+        warm = _run(files, cache=LintCache(tmp_path))
+        assert FileContext.parsed_total == before
+        assert warm.clean and len(warm.suppressed) == 1
+
+    def test_select_runs_never_touch_the_cache(self, tmp_path):
+        cache = LintCache(tmp_path)
+        _run(self.FILES, cache=cache, select=["W"])
+        assert cache.hits == 0 and cache.misses == 0
+
+
+# ---------------------------------------------------------------------------
+# SARIF serialisation
+# ---------------------------------------------------------------------------
+class TestSarif:
+    def test_structure_and_rule_catalogue(self):
+        findings = [Finding("src/repro/fake.py", 5, "RL001", "seedless"),
+                    Finding("tools/fake.py", 0, "E902", "unreadable")]
+        doc = to_sarif(findings)
+        assert doc["version"] == "2.1.0"
+        assert "sarif-schema-2.1.0" in doc["$schema"]
+        run = doc["runs"][0]
+        assert run["tool"]["driver"]["name"] == "repro-lint"
+        rules = {r["id"]: r for r in run["tool"]["driver"]["rules"]}
+        assert "RL001" in rules and "shortDescription" in rules["RL001"]
+        assert rules["E902"]["name"] == "unreadable-file"
+        by_rule = {r["ruleId"]: r for r in run["results"]}
+        loc = by_rule["RL001"]["locations"][0]["physicalLocation"]
+        assert loc["artifactLocation"]["uri"] == "src/repro/fake.py"
+        assert loc["region"]["startLine"] == 5
+        whole_file = by_rule["E902"]["locations"][0]["physicalLocation"]
+        assert whole_file["region"]["startLine"] == 1   # 1-based floor
+
+
+# ---------------------------------------------------------------------------
+# --fix autofixes
+# ---------------------------------------------------------------------------
+class TestFixes:
+    def test_fixes_whitespace_newline_and_unused_import(self):
+        src = "import os\nimport sys as s\n\nX = 1 \nprint(s.path)"
+        fixed, n = fix_source("tools/fake.py", src)
+        assert fixed == "import sys as s\n\nX = 1\nprint(s.path)\n"
+        assert n == 3
+
+    def test_fix_is_idempotent(self):
+        src = "import os\n\n\nX = 1 \n"
+        once, n1 = fix_source("tools/fake.py", src)
+        twice, n2 = fix_source("tools/fake.py", once)
+        assert n1 > 0 and n2 == 0
+        assert twice == once
+
+    def test_multi_name_import_left_for_a_human(self):
+        src = "from os import path, sep\n\nX = 1\n"
+        fixed, n = fix_source("tools/fake.py", src)
+        assert fixed == src and n == 0
+
+    def test_cli_fix_rewrites_in_place(self, tmp_path, capsys):
+        target = tmp_path / "fake.py"
+        target.write_text("import os\n\n\nX = 1 \n", encoding="utf-8")
+        rc = main([str(target), "--project-root", str(tmp_path),
+                   "--no-baseline", "--no-cache", "--fix"])
+        assert rc == 0
+        assert "fixed 2 issue(s)" in capsys.readouterr().out
+        assert target.read_text(encoding="utf-8") == "\n\nX = 1\n"
+
+
+# ---------------------------------------------------------------------------
 # path handling (satellite: typo'd paths must fail, not lint nothing)
 # ---------------------------------------------------------------------------
 class TestPathHandling:
@@ -535,6 +1081,16 @@ class TestPathHandling:
     def test_cli_exits_2_on_unknown_path(self, capsys):
         assert main(["definitely/not/a/path.py"]) == 2
         assert "does not exist" in capsys.readouterr().err
+
+    def test_empty_directory_raises(self, tmp_path):
+        (tmp_path / "pkg").mkdir()
+        with pytest.raises(PathError):
+            iter_py_files([str(tmp_path / "pkg")], tmp_path)
+
+    def test_cli_exits_2_on_empty_directory(self, tmp_path, capsys):
+        (tmp_path / "pkg").mkdir()
+        assert main([str(tmp_path / "pkg")]) == 2
+        assert "no .py files" in capsys.readouterr().err
 
 
 # ---------------------------------------------------------------------------
@@ -580,6 +1136,32 @@ class TestGate:
         assert payload["files"] == 1
         assert [f["code"] for f in payload["findings"]] == ["RL001"]
 
+    def test_sarif_output(self, tmp_path, capsys):
+        bad = self._violation(tmp_path)
+        rc = main([str(bad), "--project-root", str(tmp_path),
+                   "--no-baseline", "--no-cache", "--format", "sarif"])
+        assert rc == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["version"] == "2.1.0"
+        run = doc["runs"][0]
+        assert run["tool"]["driver"]["name"] == "repro-lint"
+        catalogue = run["tool"]["driver"]["rules"]
+        assert catalogue[0]["id"] == "RL001"
+        assert "shortDescription" in catalogue[0]
+        result = run["results"][0]
+        assert result["ruleId"] == "RL001"
+        loc = result["locations"][0]["physicalLocation"]
+        assert loc["artifactLocation"]["uri"] == "src/repro/bad.py"
+        assert loc["region"]["startLine"] == 5
+
+    def test_changed_since_head_is_clean(self, capsys):
+        assert main(["--changed-since", "HEAD", "--no-cache"]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_changed_since_rejects_explicit_paths(self, capsys):
+        assert main(["--changed-since", "HEAD", "src"]) == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
     def test_explain_every_registered_rule(self, capsys):
         engine.load_plugins()
         for code in sorted(engine.RULES):
@@ -593,7 +1175,8 @@ class TestGate:
     def test_list_rules_names_the_catalogue(self, capsys):
         assert main(["--list-rules"]) == 0
         out = capsys.readouterr().out
-        for code in ("RL001", "RL002", "RL003", "RL004", "RL005"):
+        for code in ("RL001", "RL002", "RL003", "RL004", "RL005",
+                     "RL006", "RL007", "RL008"):
             assert code in out
 
     def test_legacy_lint_py_shim_still_works(self):

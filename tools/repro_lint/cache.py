@@ -1,0 +1,169 @@
+"""Content-hash result cache: unchanged files skip parse and rule passes.
+
+The cache maps ``sha256(file source)`` to that file's raw per-file
+findings and suppression table, plus one whole-run entry keyed on the
+sorted digest set that replays the project-rule findings when *nothing*
+changed.  Combined with :class:`~.engine.FileContext`'s lazy parsing,
+a fully warm ``make lint`` never calls ``ast.parse`` at all, and a run
+with one edited file re-parses only what the project rules demand.
+
+Correctness guards:
+
+* the whole cache is salted with a hash of the linter's own sources —
+  editing any rule, the engine, or this module invalidates everything;
+* only **full** runs (no ``--select``) read or write the cache: a
+  partial run computes a subset of findings and must never masquerade
+  as the full set;
+* entries store *raw* (pre-suppression, pre-baseline) findings, so
+  suppression accounting and baseline matching still run live on every
+  invocation — editing ``baseline.json`` needs no invalidation;
+* :meth:`LintCache.get_file` returns freshly constructed
+  :class:`~.engine.Suppression` objects each call (their ``used`` flags
+  are mutated per run).
+
+The cache lives in ``tools/repro_lint/.cache/`` by default (git-ignored)
+and is written atomically; a corrupt or stale-salt file is discarded
+wholesale, never trusted.  ``--no-cache`` bypasses it entirely.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pathlib
+import tempfile
+from typing import Dict, List, Optional, Tuple
+
+from .engine import Finding, Suppression
+
+DEFAULT_CACHE_DIR = pathlib.Path(__file__).resolve().parent / ".cache"
+_CACHE_FORMAT = 1
+
+
+def _package_salt() -> str:
+    """Hash of every linter source file: code changes invalidate all."""
+    package = pathlib.Path(__file__).resolve().parent
+    digest = hashlib.sha256()
+    for path in sorted(package.rglob("*.py")):
+        digest.update(path.as_posix().encode())
+        digest.update(path.read_bytes())
+    return digest.hexdigest()
+
+
+class LintCache:
+    """One on-disk cache file, loaded once per run, saved once at exit."""
+
+    def __init__(self, cache_dir: Optional[pathlib.Path] = None) -> None:
+        self.cache_dir = pathlib.Path(cache_dir) if cache_dir is not None \
+            else DEFAULT_CACHE_DIR
+        self.path = self.cache_dir / "results.json"
+        self.salt = _package_salt()
+        self._files: Dict[str, Dict] = {}
+        self._project: Optional[Dict] = None
+        self._dirty = False
+        self.hits = 0
+        self.misses = 0
+        self._load()
+
+    # ------------------------------------------------------------------
+    def _load(self) -> None:
+        try:
+            raw = json.loads(self.path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return
+        if not isinstance(raw, dict) or raw.get("format") != _CACHE_FORMAT \
+                or raw.get("salt") != self.salt:
+            return   # different linter version: discard wholesale
+        files = raw.get("files")
+        if isinstance(files, dict):
+            self._files = files
+        project = raw.get("project")
+        if isinstance(project, dict):
+            self._project = project
+
+    def save(self) -> None:
+        """Atomically persist the cache (no-op when nothing changed)."""
+        if not self._dirty:
+            return
+        payload = json.dumps({"format": _CACHE_FORMAT, "salt": self.salt,
+                              "files": self._files,
+                              "project": self._project})
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=str(self.cache_dir),
+                                   suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                fh.write(payload)
+            os.replace(tmp, self.path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+        self._dirty = False
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def digest(source: str) -> str:
+        return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+    @staticmethod
+    def project_key(digests: Dict[str, str]) -> str:
+        joined = "\n".join(f"{path}\0{digest}"
+                           for path, digest in sorted(digests.items()))
+        return hashlib.sha256(joined.encode("utf-8")).hexdigest()
+
+    # ------------------------------------------------------------------
+    def get_file(self, relpath: str, digest: str
+                 ) -> Optional[Tuple[List[Finding], List[Suppression],
+                                     List[Finding]]]:
+        entry = self._files.get(relpath)
+        if not isinstance(entry, dict) or entry.get("digest") != digest:
+            self.misses += 1
+            return None
+        try:
+            findings = [Finding(*item) for item in entry["findings"]]
+            sups = [Suppression(tuple(codes), why, comment, target)
+                    for codes, why, comment, target
+                    in entry["suppressions"]]
+            sup_findings = [Finding(*item)
+                            for item in entry["suppression_findings"]]
+        except (KeyError, TypeError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return findings, sups, sup_findings
+
+    def put_file(self, relpath: str, digest: str,
+                 findings: List[Finding], suppressions: List[Suppression],
+                 suppression_findings: List[Finding]) -> None:
+        self._files[relpath] = {
+            "digest": digest,
+            "findings": [[f.relpath, f.line, f.code, f.message]
+                         for f in findings],
+            "suppressions": [[list(s.codes), s.justification,
+                              s.comment_line, s.target_line]
+                             for s in suppressions],
+            "suppression_findings": [[f.relpath, f.line, f.code, f.message]
+                                     for f in suppression_findings],
+        }
+        self._dirty = True
+
+    # ------------------------------------------------------------------
+    def get_project(self, key: str) -> Optional[List[Finding]]:
+        entry = self._project
+        if not isinstance(entry, dict) or entry.get("key") != key:
+            return None
+        try:
+            return [Finding(*item) for item in entry["findings"]]
+        except (KeyError, TypeError, ValueError):
+            return None
+
+    def put_project(self, key: str, findings: List[Finding]) -> None:
+        self._project = {
+            "key": key,
+            "findings": [[f.relpath, f.line, f.code, f.message]
+                         for f in findings],
+        }
+        self._dirty = True

@@ -10,6 +10,25 @@ in two shapes:
 * **project rules** (``project_check``) see the whole :class:`Project` —
   cross-file analyses such as RL003's kernel-reachability walk.
 
+Whole-program analysis
+----------------------
+``Project.call_graph()`` builds (once per run, shared by every project
+rule) the module-resolving call graph of :mod:`repro_lint.callgraph`.
+How the call graph resolves names, in brief: a ``src/``-relative path
+maps to its dotted module (``src/repro/apps/executor.py`` →
+``repro.apps.executor``); each module's symbol table holds its top-level
+functions and classes plus every import binding — ``import a.b as c``,
+``from a.b import x as y`` (aliases kept), relative imports resolved
+against the importing package, and re-export chains through
+``__init__.py`` followed recursively with a cycle guard.  A call site
+resolves when its callee is a plain bound name, a dotted path rooted at
+an imported module, ``self.m(...)``/``cls.m(...)`` inside a method (then
+through resolvable base classes), or ``C.m(...)`` on a project class;
+attribute calls on untyped values stay unresolved on purpose —
+conservative edges, no guessed types.  Function-local *data* flow
+(def-use chains for RL006's seed provenance) lives in
+:mod:`repro_lint.dataflow`.
+
 Suppressions
 ------------
 A finding is silenced inline with::
@@ -100,32 +119,84 @@ class PathError(Exception):
 
 
 class FileContext:
-    """Everything rules may need about one file, computed exactly once."""
+    """Everything rules may need about one file, computed at most once.
+
+    Parsing (AST + parent map) and the tokenize-based suppression scan
+    are **lazy**: they run on first access of :attr:`tree` /
+    :attr:`suppressions`.  The parse cache relies on this — a cache-hit
+    file replays its recorded findings and suppressions without ever
+    touching the parser, unless a project rule later demands its AST.
+    """
+
+    #: process-lifetime count of actual ``ast.parse`` runs (test hook:
+    #: proves the cache skips parses rather than timing it)
+    parsed_total = 0
 
     def __init__(self, relpath: str, source: str) -> None:
         self.relpath = relpath
         self.source = source
         self.lines: List[str] = source.splitlines()
-        self.tree: Optional[ast.AST] = None
-        self.syntax_error: Optional[Finding] = None
+        self._parsed = False
+        self._tree: Optional[ast.AST] = None
+        self._syntax_error: Optional[Finding] = None
         self.parents: Dict[int, ast.AST] = {}
-        self.suppressions: List[Suppression] = []
-        self.suppression_findings: List[Finding] = []
+        self._scanned = False
+        self._suppressions: List[Suppression] = []
+        self._suppression_findings: List[Finding] = []
         #: scratch space for rules that share expensive per-file results
         self.cache: Dict[str, object] = {}
-        try:
-            self.tree = ast.parse(source, filename=relpath)
-        except SyntaxError as exc:
-            self.syntax_error = Finding(relpath, exc.lineno or 0, "E999",
-                                        f"syntax error: {exc.msg}")
-        else:
-            for node in ast.walk(self.tree):
-                for child in ast.iter_child_nodes(node):
-                    self.parents[id(child)] = node
-        self._parse_suppressions()
 
     # ------------------------------------------------------------------
+    def _ensure_parsed(self) -> None:
+        if self._parsed:
+            return
+        self._parsed = True
+        FileContext.parsed_total += 1
+        try:
+            self._tree = ast.parse(self.source, filename=self.relpath)
+        except SyntaxError as exc:
+            self._syntax_error = Finding(self.relpath, exc.lineno or 0,
+                                         "E999",
+                                         f"syntax error: {exc.msg}")
+        else:
+            for node in ast.walk(self._tree):
+                for child in ast.iter_child_nodes(node):
+                    self.parents[id(child)] = node
+
+    @property
+    def tree(self) -> Optional[ast.AST]:
+        self._ensure_parsed()
+        return self._tree
+
+    @property
+    def syntax_error(self) -> Optional[Finding]:
+        self._ensure_parsed()
+        return self._syntax_error
+
+    @property
+    def suppressions(self) -> List[Suppression]:
+        self._ensure_scanned()
+        return self._suppressions
+
+    @property
+    def suppression_findings(self) -> List[Finding]:
+        self._ensure_scanned()
+        return self._suppression_findings
+
+    def restore(self, suppressions: List[Suppression],
+                suppression_findings: List[Finding]) -> None:
+        """Adopt cached suppression state without a tokenize pass."""
+        self._scanned = True
+        self._suppressions = suppressions
+        self._suppression_findings = suppression_findings
+
+    def _ensure_scanned(self) -> None:
+        if not self._scanned:
+            self._scanned = True
+            self._parse_suppressions()
+
     def parent(self, node: ast.AST) -> Optional[ast.AST]:
+        self._ensure_parsed()
         return self.parents.get(id(node))
 
     def ancestors(self, node: ast.AST) -> Iterable[Tuple[ast.AST, ast.AST]]:
@@ -182,6 +253,21 @@ class Project:
         self.files = list(files)
         self.by_path: Dict[str, FileContext] = {
             f.relpath: f for f in self.files}
+        #: shared scratch space for cross-rule artefacts (the call graph)
+        self.cache: Dict[str, object] = {}
+
+    def call_graph(self):
+        """The shared module-resolving :class:`~.callgraph.CallGraph`.
+
+        Built lazily on first request and reused by every project rule
+        in the run (RL003 reachability, RL008's transitive walks).
+        """
+        graph = self.cache.get("callgraph")
+        if graph is None:
+            from .callgraph import CallGraph
+            graph = CallGraph(self.files)
+            self.cache["callgraph"] = graph
+        return graph
 
 
 # ---------------------------------------------------------------------------
@@ -225,7 +311,10 @@ def iter_py_files(args: Sequence[str],
 
     Unlike the historical ``tools/lint.py``, a path that exists as neither
     a file nor a directory raises :class:`PathError` — a typo'd argument
-    must fail the gate, not lint nothing and exit 0.
+    must fail the gate, not lint nothing and exit 0.  A directory that
+    exists but contains **zero** ``.py`` files is the same hard error for
+    the same reason (``repro_lint some/empty/dir`` linting nothing and
+    exiting 0 is indistinguishable from a pass).
     """
     roots = ([pathlib.Path(a) for a in args] if args
              else [root / r for r in DEFAULT_ROOTS])
@@ -234,7 +323,10 @@ def iter_py_files(args: Sequence[str],
         if r.is_file():
             out.append(r)
         elif r.is_dir():
-            out.extend(sorted(r.rglob("*.py")))
+            found = sorted(r.rglob("*.py"))
+            if not found:
+                raise PathError(f"directory contains no .py files: {r}")
+            out.extend(found)
         else:
             raise PathError(f"path does not exist: {r}")
     return out
@@ -340,16 +432,33 @@ class Result:
 
 def run_sources(files: Sequence[Tuple[str, str]], *,
                 baseline: Optional[Sequence[BaselineEntry]] = None,
-                select: Optional[Sequence[str]] = None) -> Result:
+                select: Optional[Sequence[str]] = None,
+                cache: Optional["object"] = None,
+                subset: bool = False) -> Result:
     """Run every (selected) rule over ``(relpath, source)`` pairs.
 
     ``select`` limits the run to the named codes (prefix match, like
     ruff's select).  The unused-suppression and stale-baseline checks only
     apply on full runs — on a partial run a suppression for an unselected
     rule is not evidence of rot.
+
+    ``subset=True`` declares the *file set* partial (``--changed-since``):
+    all rules run, but the unused-suppression and stale-baseline checks
+    are skipped — a suppression justified by a project-rule finding
+    rooted in an unlisted file, or a baseline entry for an unlisted
+    file, is not evidence of rot either.
+
+    ``cache`` is a :class:`~.cache.LintCache` (or ``None``): on full
+    runs, files whose content hash matches a cached entry replay their
+    per-file findings and suppressions without parsing or running file
+    rules, and a run whose entire file set is unchanged replays the
+    project-rule findings too — skipping every parse.  Partial
+    (``select``/``subset``) runs never consult or populate the cache.
     """
     load_plugins()
     full_run = select is None
+    complete = full_run and not subset
+    use_cache = cache is not None and complete
 
     def selected(code: str) -> bool:
         return full_run or any(code.startswith(s) for s in select)
@@ -357,20 +466,58 @@ def run_sources(files: Sequence[Tuple[str, str]], *,
     contexts = [FileContext(relpath, source) for relpath, source in files]
     project = Project(contexts)
     raw: List[Finding] = []
+    fresh: List[FileContext] = []
+    digests: Dict[str, str] = {}
+    all_hit = True
     for ctx in contexts:
-        if ctx.syntax_error is not None and selected("E999"):
-            raw.append(ctx.syntax_error)
-        raw.extend(f for f in ctx.suppression_findings if selected("RL000"))
+        entry = None
+        if use_cache:
+            digests[ctx.relpath] = cache.digest(ctx.source)
+            entry = cache.get_file(ctx.relpath, digests[ctx.relpath])
+        if entry is not None:
+            findings, sups, sup_findings = entry
+            ctx.restore(sups, sup_findings)
+            raw.extend(findings)
+            raw.extend(sup_findings)
+        else:
+            all_hit = False
+            fresh.append(ctx)
+
+    per_file: Dict[str, List[Finding]] = {c.relpath: [] for c in fresh}
+    for ctx in fresh:
+        if ctx.syntax_error is not None:
+            per_file[ctx.relpath].append(ctx.syntax_error)
     for code in sorted(RULES):
         rule = RULES[code]
-        if not selected(code):
+        if rule.file_check is None or not selected(code):
             continue
-        if rule.file_check is not None:
-            for ctx in contexts:
-                if ctx.tree is not None and rule.scope(ctx.relpath):
-                    raw.extend(rule.file_check(ctx))
-        if rule.project_check is not None:
-            raw.extend(rule.project_check(project))
+        for ctx in fresh:
+            if ctx.tree is not None and rule.scope(ctx.relpath):
+                per_file[ctx.relpath].extend(rule.file_check(ctx))
+    for ctx in fresh:
+        findings = sorted(per_file[ctx.relpath])
+        raw.extend(f for f in findings if selected(f.code))
+        raw.extend(f for f in ctx.suppression_findings
+                   if selected("RL000"))
+        if use_cache:
+            cache.put_file(ctx.relpath, digests[ctx.relpath], findings,
+                           ctx.suppressions, ctx.suppression_findings)
+
+    project_key = (cache.project_key(digests)
+                   if use_cache else None)
+    project_findings: Optional[List[Finding]] = None
+    if use_cache and all_hit:
+        project_findings = cache.get_project(project_key)
+    if project_findings is None:
+        project_findings = []
+        for code in sorted(RULES):
+            rule = RULES[code]
+            if rule.project_check is not None and selected(code):
+                project_findings.extend(rule.project_check(project))
+        project_findings.sort()
+        if use_cache:
+            cache.put_project(project_key, project_findings)
+    raw.extend(f for f in project_findings if selected(f.code))
 
     # inline suppressions
     visible: List[Finding] = []
@@ -388,7 +535,7 @@ def run_sources(files: Sequence[Tuple[str, str]], *,
             suppressed.append((f, sup))
         else:
             visible.append(f)
-    if full_run:
+    if complete:
         for ctx in contexts:
             for s in ctx.suppressions:
                 if not s.used:
@@ -414,7 +561,7 @@ def run_sources(files: Sequence[Tuple[str, str]], *,
             else:
                 remaining.append(f)
         visible = remaining
-        if full_run:
+        if complete:
             for b in baseline:
                 if b.matched == 0:
                     visible.append(Finding(
@@ -435,7 +582,9 @@ def _line_contains(project: Project, f: Finding, fragment: str) -> bool:
 
 def run_paths(paths: Sequence[str], *, root: pathlib.Path = REPO,
               baseline: Optional[Sequence[BaselineEntry]] = None,
-              select: Optional[Sequence[str]] = None) -> Result:
+              select: Optional[Sequence[str]] = None,
+              cache: Optional["object"] = None,
+              subset: bool = False) -> Result:
     """Discover files under ``paths`` and lint them (the CLI's core)."""
     files: List[Tuple[str, str]] = []
     unreadable: List[Finding] = []
@@ -446,7 +595,8 @@ def run_paths(paths: Sequence[str], *, root: pathlib.Path = REPO,
         except (OSError, UnicodeDecodeError) as exc:
             unreadable.append(Finding(relpath, 0, "E902",
                                       f"unreadable: {exc}"))
-    result = run_sources(files, baseline=baseline, select=select)
+    result = run_sources(files, baseline=baseline, select=select,
+                         cache=cache, subset=subset)
     if unreadable:
         result = Result(sorted(result.findings + unreadable),
                         result.suppressed, result.baselined,

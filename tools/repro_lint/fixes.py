@@ -1,0 +1,82 @@
+"""Mechanical autofixes (``--fix``) for the unambiguous hygiene findings.
+
+Only fixes with exactly one correct rewrite are applied:
+
+* **W291** trailing whitespace (blank lines included) — strip it;
+* **W292** missing newline at end of file — append one;
+* **F401** unused import — delete the import statement, but only when
+  the statement imports exactly *one* name and occupies exactly the
+  flagged line (a multi-name ``from x import a, b`` or a parenthesised
+  multi-line import has several defensible rewrites, so it is left for
+  a human).
+
+Fixing runs to a fixpoint (``fix_source`` re-lints its own output until
+nothing changes), which makes ``--fix`` idempotent by construction: a
+second run finds nothing left to fix and rewrites nothing.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Set, Tuple
+
+from .engine import run_sources
+
+#: the codes --fix may act on; everything else is reported, never touched
+FIXABLE = ("W291", "W292", "F401")
+_MAX_PASSES = 8   # fixpoint bound; 2 passes suffice in practice
+
+
+def _single_line_import(tree: ast.AST, line: int) -> bool:
+    """Is the statement at ``line`` a one-alias, one-line import?"""
+    for node in ast.walk(tree):
+        if (isinstance(node, (ast.Import, ast.ImportFrom))
+                and node.lineno == line):
+            return (len(node.names) == 1
+                    and getattr(node, "end_lineno", line) == line)
+    return False
+
+
+def _apply_once(relpath: str, source: str) -> Tuple[str, int]:
+    result = run_sources([(relpath, source)], select=list(FIXABLE))
+    trailing: Set[int] = set()
+    drop: Set[int] = set()
+    add_final_newline = False
+    tree = None
+    for f in result.findings:
+        if f.code == "W291":
+            trailing.add(f.line)
+        elif f.code == "W292":
+            add_final_newline = True
+        elif f.code == "F401":
+            if tree is None:
+                try:
+                    tree = ast.parse(source)
+                except SyntaxError:
+                    continue
+            if _single_line_import(tree, f.line):
+                drop.add(f.line)
+    if not trailing and not drop and not add_final_newline:
+        return source, 0
+    ends_with_newline = source.endswith("\n")
+    lines = source.splitlines()
+    out: List[str] = []
+    for i, text in enumerate(lines, start=1):
+        if i in drop:
+            continue
+        out.append(text.rstrip() if i in trailing else text)
+    fixed = "\n".join(out)
+    if ends_with_newline or add_final_newline:
+        fixed += "\n"
+    return fixed, len(trailing) + len(drop) + int(add_final_newline)
+
+
+def fix_source(relpath: str, source: str) -> Tuple[str, int]:
+    """Fixed source and the number of fixes applied (0 = unchanged)."""
+    total = 0
+    for _ in range(_MAX_PASSES):
+        source, applied = _apply_once(relpath, source)
+        if not applied:
+            break
+        total += applied
+    return source, total

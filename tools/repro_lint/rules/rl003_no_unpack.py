@@ -6,16 +6,23 @@ asserts catch a violation only on the code path a test happens to
 execute; this rule proves it statically for every function reachable from
 the kernel registry.
 
-Reachability is a conservative, name-based static call graph:
+Reachability runs on the shared module-resolving call graph
+(:meth:`~repro_lint.engine.Project.call_graph` — see
+:mod:`repro_lint.callgraph`), which replaced the original name-matching
+heuristic:
 
-* roots are the functions registered in ``apps/executor.KERNELS``;
-* an edge follows every plain-name call (``helper(...)``) resolved
-  through the module's own top-level functions and its ``from . import``
-  map (relative imports within src/repro/);
-* method calls (``engine.maj(...)``, ``batch.select(...)``) are *not*
+* roots are the functions registered in ``apps/executor.KERNELS``,
+  resolved through import aliases and ``__init__`` re-exports, not just
+  same-file names;
+* edges follow every call the graph can resolve — plain names through
+  imports (absolute and relative, aliased or not), ``module.helper(...)``
+  attribute calls on imported modules, ``self.helper(...)`` methods, and
+  calls to decorated functions;
+* attribute calls on *untyped* values (``engine.maj(...)``,
+  ``batch.select(...)`` where the receiver is a parameter) are still not
   followed — the engine/StreamBatch layer keeps its own runtime
-  no-unpack asserts, and following untyped attribute calls would drown
-  the rule in false edges.
+  no-unpack asserts, and guessing receiver types would drown the rule in
+  false edges.
 
 Inside the reachable set the rule flags the bit-expansion markers:
 ``.to_bits()``, ``.to_bitstream()`` (flagged so every use is *audited*:
@@ -27,57 +34,23 @@ loops over the stream length.
 from __future__ import annotations
 
 import ast
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Iterable, List, Tuple
 
+from ..callgraph import FuncKey
 from ..engine import Finding, Project, Rule, register
 
 _EXECUTOR = "src/repro/apps/executor.py"
 _UNPACK_ATTRS = frozenset({"to_bits", "to_bitstream"})
 _LOOP_NAMES = frozenset({"length", "n_bits", "nbits"})
 
-FuncKey = Tuple[str, str]   # (relpath, function name)
 
-
-def _top_level_functions(tree: ast.AST) -> Dict[str, ast.AST]:
-    return {node.name: node for node in tree.body
-            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))}
-
-
-def _relative_target(relpath: str, level: int,
-                     module: Optional[str]) -> Optional[str]:
-    """Resolve ``from ..m import x`` in ``relpath`` to a module relpath."""
-    parts = relpath.split("/")[:-1]
-    if level - 1 > len(parts):
-        return None
-    if level > 1:
-        parts = parts[:len(parts) - (level - 1)]
-    if module:
-        parts = parts + module.split(".")
-    return "/".join(parts) + ".py"
-
-
-def _import_map(relpath: str, tree: ast.AST) -> Dict[str, FuncKey]:
-    """imported-name -> (defining module relpath, original name)."""
-    out: Dict[str, FuncKey] = {}
-    for node in ast.walk(tree):
-        if isinstance(node, ast.ImportFrom) and node.level > 0:
-            target = _relative_target(relpath, node.level, node.module)
-            if target is None:
-                continue
-            for alias in node.names:
-                if alias.name != "*":
-                    out[alias.asname or alias.name] = (target, alias.name)
-    return out
-
-
-def _kernel_roots(project: Project) -> List[Tuple[str, FuncKey]]:
-    """(kernel registry name, function key) for every KERNELS entry."""
+def _kernel_roots(project: Project) -> List[Tuple[FuncKey, str]]:
+    """(function key, kernel registry name) for every KERNELS entry."""
     executor = project.by_path.get(_EXECUTOR)
     if executor is None or executor.tree is None:
         return []
-    funcs = _top_level_functions(executor.tree)
-    imports = _import_map(_EXECUTOR, executor.tree)
-    roots: List[Tuple[str, FuncKey]] = []
+    graph = project.call_graph()
+    roots: List[Tuple[FuncKey, str]] = []
     for node in executor.tree.body:
         if not (isinstance(node, ast.Assign)
                 and any(isinstance(t, ast.Name) and t.id == "KERNELS"
@@ -89,23 +62,10 @@ def _kernel_roots(project: Project) -> List[Tuple[str, FuncKey]]:
                 continue
             reg_name = (key.value if isinstance(key, ast.Constant)
                         else value.id)
-            if value.id in funcs:
-                roots.append((str(reg_name), (_EXECUTOR, value.id)))
-            elif value.id in imports:
-                roots.append((str(reg_name), imports[value.id]))
+            info = graph.lookup(_EXECUTOR, value.id)
+            if info is not None:
+                roots.append((info.key, str(reg_name)))
     return roots
-
-
-def _call_edges(relpath: str, func: ast.AST,
-                funcs: Dict[str, ast.AST],
-                imports: Dict[str, FuncKey]) -> Iterable[FuncKey]:
-    for node in ast.walk(func):
-        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
-            name = node.func.id
-            if name in funcs:
-                yield (relpath, name)
-            elif name in imports:
-                yield imports[name]
 
 
 def _scan_markers(relpath: str, func: ast.AST,
@@ -145,35 +105,16 @@ def _scan_markers(relpath: str, func: ast.AST,
 
 
 def _check(project: Project) -> Iterable[Finding]:
-    tables: Dict[str, Dict[str, ast.AST]] = {}
-    imports: Dict[str, Dict[str, FuncKey]] = {}
-    for ctx in project.files:
-        if ctx.tree is not None and ctx.relpath.startswith("src/repro/"):
-            tables[ctx.relpath] = _top_level_functions(ctx.tree)
-            imports[ctx.relpath] = _import_map(ctx.relpath, ctx.tree)
-
-    reached: Dict[FuncKey, str] = {}
-    queue: List[Tuple[FuncKey, str]] = []
-    for reg_name, key in _kernel_roots(project):
-        if key[0] in tables and key[1] in tables[key[0]]:
-            queue.append((key, reg_name))
-    while queue:
-        key, witness = queue.pop()
-        if key in reached:
-            continue
-        reached[key] = witness
-        relpath, name = key
-        func = tables[relpath][name]
-        for edge in _call_edges(relpath, func, tables[relpath],
-                                imports[relpath]):
-            if (edge not in reached and edge[0] in tables
-                    and edge[1] in tables[edge[0]]):
-                queue.append((edge, witness))
-
+    roots = _kernel_roots(project)
+    if not roots:
+        return []
+    graph = project.call_graph()
+    reached = graph.reachable(roots)
     findings: List[Finding] = []
-    for (relpath, name), witness in sorted(reached.items()):
-        findings.extend(_scan_markers(relpath, tables[relpath][name],
-                                      witness))
+    for key in sorted(reached):
+        info = graph.functions[key]
+        findings.extend(_scan_markers(info.relpath, info.node,
+                                      reached[key]))
     return findings
 
 
@@ -181,11 +122,9 @@ register(Rule(
     code="RL003", name="no-unpack-hot-path",
     summary="Kernel-reachable code must never expand packed bit payloads.",
     explain="""\
-Builds a name-based static call graph rooted at the functions registered
-in apps/executor.KERNELS (following plain-name calls through relative
-imports inside src/repro/; method calls are not followed — the
-engine/StreamBatch layer keeps its runtime no-unpack asserts) and flags,
-anywhere in the reachable set:
+Walks the shared module-resolving call graph (Project.call_graph(), see
+repro_lint/callgraph.py) from the functions registered in
+apps/executor.KERNELS and flags, anywhere in the reachable set:
 
 * `.to_bits()` / `.to_bitstream()` calls — to_bitstream *is* a zero-copy
   payload wrap today, which is exactly why every call site must carry a
@@ -194,6 +133,10 @@ anywhere in the reachable set:
 * `np.unpackbits(...)` — the definitional unpack;
 * `for ... in range(length)`-style per-bit Python loops.
 
-Before this rule these were only caught by runtime no-unpack asserts on
-whichever configuration a test happened to execute.""",
+Since the call-graph migration, edges follow aliased and absolute
+imports, `module.helper(...)` calls on imported modules, re-exports
+through `__init__.py`, `self.helper(...)` methods and decorated
+functions — not just same-name top-level calls.  Attribute calls on
+untyped receivers (`engine.maj(...)`) are still not followed; the
+engine/StreamBatch layer keeps its runtime no-unpack asserts.""",
     project_check=_check))

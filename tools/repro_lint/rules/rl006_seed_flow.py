@@ -1,0 +1,185 @@
+"""RL006 — seed provenance: every RNG must trace back to a threaded seed.
+
+The determinism story (``jobs=1 == jobs=N``, golden pins, bit-exact
+preset equivalence) requires more than "no unseeded RNGs" (RL001): the
+seed an RNG *is* built from must flow in from the caller — a function
+parameter, ``self``-carried state, or ``RunConfig.seed`` — never appear
+out of thin air.  Three anti-patterns defeat that silently:
+
+* a **literal integer seed** baked into library code: every call
+  produces the same stream no matter what the harness asked for, so two
+  "independent" runs correlate perfectly and the CLI ``--seed`` flag
+  lies;
+* a **discarded spawn**: ``seed_seq.spawn(n)`` as a bare expression
+  statement advances the parent's spawn counter and throws the children
+  away — sibling streams silently shift;
+* **one SeedSequence feeding two generators**: two streams built from
+  the same sequence are bit-identical, not independent — Monte-Carlo
+  variance estimates collapse.
+
+The checks run on the function-local def-use chains of
+:mod:`repro_lint.dataflow`, so a seed laundered through locals
+(``s = 42; default_rng(s)``) is still caught, while anything whose
+provenance is genuinely unknown (module globals, call results) is
+deliberately allowed — precision over recall.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..dataflow import FunctionFlow, _shallow_walk, literal_int
+from ..engine import FileContext, Finding, Rule, register
+
+#: constructors taking a seed/entropy argument (numpy seeded surface)
+_SEED_CTORS = frozenset({
+    "default_rng", "SeedSequence", "PCG64", "PCG64DXSM", "Philox",
+    "SFC64", "MT19937",
+})
+
+
+def _ctor_name(call: ast.Call) -> Optional[str]:
+    func = call.func
+    if isinstance(func, ast.Name) and func.id in _SEED_CTORS:
+        return func.id
+    if isinstance(func, ast.Attribute) and func.attr in _SEED_CTORS:
+        return func.attr
+    return None
+
+
+def _seed_arg(call: ast.Call) -> Optional[ast.AST]:
+    """The seed-carrying argument of a seed-family constructor call."""
+    if call.args:
+        return call.args[0]
+    for kw in call.keywords:
+        if kw.arg in ("seed", "entropy"):
+            return kw.value
+    return None
+
+
+def _module_level_statements(tree: ast.AST) -> Iterable[ast.AST]:
+    """Walk the module without descending into function/class-method bodies."""
+    todo = list(ast.iter_child_nodes(tree))
+    while todo:
+        node = todo.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda)):
+            continue
+        yield node
+        todo.extend(ast.iter_child_nodes(node))
+
+
+def _functions(tree: ast.AST) -> Iterable[ast.AST]:
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def _literal_origin(flow: Optional[FunctionFlow],
+                    expr: ast.AST) -> Optional[int]:
+    """An integer-literal value ``expr`` (or any of its origins) carries."""
+    direct = literal_int(expr)
+    if direct is not None:
+        return direct
+    if flow is not None:
+        for origin in flow.origins(expr):
+            value = literal_int(origin)
+            if value is not None:
+                return value
+    return None
+
+
+def _check_constructions(ctx: FileContext, calls: List[ast.Call],
+                         flow: Optional[FunctionFlow]
+                         ) -> Iterable[Finding]:
+    #: bare local name used as the seed of a constructor → call sites
+    consumers: Dict[str, List[Tuple[ast.Call, str]]] = {}
+    for call in calls:
+        ctor = _ctor_name(call)
+        if ctor is None:
+            continue
+        seed = _seed_arg(call)
+        if seed is None:
+            continue   # argument-less constructors are RL001's finding
+        value = _literal_origin(flow, seed)
+        if value is not None:
+            yield Finding(
+                ctx.relpath, call.lineno, "RL006",
+                f"literal integer seed {value} reaches {ctor}(): library "
+                f"code must derive its seed from the caller (a seed "
+                f"parameter / RunConfig.seed), or every run replays the "
+                f"same stream regardless of --seed")
+        if isinstance(seed, ast.Name) and flow is not None:
+            consumers.setdefault(seed.id, []).append((call, ctor))
+    for name, sites in consumers.items():
+        if len(sites) < 2 or flow is None:
+            continue
+        # only flag names that demonstrably hold a SeedSequence: the
+        # `rng if isinstance(...) else default_rng(rng)` idiom passes a
+        # parameter to one constructor and must stay silent
+        if not any(
+                isinstance(origin, ast.Call)
+                and _ctor_name(origin) == "SeedSequence"
+                for origin in flow.origins(ast.Name(id=name,
+                                                    ctx=ast.Load()))):
+            continue
+        for call, ctor in sites[1:]:
+            yield Finding(
+                ctx.relpath, call.lineno, "RL006",
+                f"SeedSequence {name!r} already consumed by another "
+                f"generator in this function; two streams built from one "
+                f"sequence are bit-identical, not independent — "
+                f".spawn() children instead")
+
+
+def _check(ctx: FileContext) -> Iterable[Finding]:
+    findings: List[Finding] = []
+    # discarded spawn children: statement-position .spawn() anywhere
+    for node in ast.walk(ctx.tree):
+        if (isinstance(node, ast.Expr)
+                and isinstance(node.value, ast.Call)
+                and isinstance(node.value.func, ast.Attribute)
+                and node.value.func.attr == "spawn"):
+            findings.append(Finding(
+                ctx.relpath, node.lineno, "RL006",
+                ".spawn() children discarded: the call advances the "
+                "parent SeedSequence's spawn counter and drops the "
+                "children, silently shifting every later sibling stream"))
+    order = lambda n: (n.lineno, n.col_offset)   # walk order is not source order
+    module_calls = sorted((n for n in _module_level_statements(ctx.tree)
+                           if isinstance(n, ast.Call)), key=order)
+    findings.extend(_check_constructions(ctx, module_calls, None))
+    for func in _functions(ctx.tree):
+        flow = FunctionFlow(func)
+        calls = sorted((n for n in _shallow_walk(func)
+                        if isinstance(n, ast.Call)), key=order)
+        findings.extend(_check_constructions(ctx, calls, flow))
+    return findings
+
+
+register(Rule(
+    code="RL006", name="seed-flow",
+    summary="RNG seeds must flow from the caller, once, and never be "
+            "literals.",
+    explain="""\
+Scope: src/repro/ (tests/benchmarks pin literal seeds legitimately).
+Runs the def-use pass (repro_lint/dataflow.py) over every function and
+flags three seed-provenance defects:
+
+* a literal integer seed reaching `default_rng` / `SeedSequence` /
+  a bit-generator constructor — directly or laundered through locals
+  (`s = 42; default_rng(s)`).  Library streams must derive from a seed
+  parameter, self-carried seed state, or RunConfig.seed;
+* `seed_seq.spawn(n)` in statement position — the children are
+  discarded but the parent's spawn counter still advances, so every
+  later sibling stream silently shifts;
+* one local that provably holds a `SeedSequence(...)` passed as the
+  seed of two or more generator constructions in the same function —
+  the streams are bit-identical, not independent; spawn children
+  instead.
+
+Unknown provenance (module globals, call results, attributes) is
+deliberately not flagged: the rule reports confident defects only.""",
+    scope=lambda relpath: relpath.startswith("src/repro/"),
+    file_check=_check))

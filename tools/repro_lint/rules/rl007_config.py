@@ -1,0 +1,281 @@
+"""RL007 — RunConfig coherence: every field on every surface.
+
+``RunConfig`` is the one value that crosses every boundary in the stack:
+validated in ``__post_init__``, JSON round-tripped by
+``to_dict``/``from_dict``, materialised by the preset table, exposed as a
+CLI flag, and embedded in ``BENCH_*.json`` records.  Adding a field is
+therefore a *seven-surface* change, and history shows the failure mode:
+the field lands in the dataclass, works in unit tests, and silently
+cannot be set from the command line (or silently vanishes from bench
+records) because one surface was missed.
+
+This rule makes the surfaces statically checkable.  It finds the
+``RunConfig`` dataclass (a class of that name in a ``config.py``), reads
+its field list straight from the annotated assignments (``ClassVar``
+annotations excluded), and then demands, for **every** field:
+
+* a ``self.<field>`` use inside ``__post_init__`` (validation),
+* a ``<field>:`` entry in the class docstring's field catalogue,
+* coverage by ``to_dict`` / ``from_dict`` — generic implementations
+  (``dataclasses.asdict`` / ``field_names()``) cover all fields at once,
+* an explicit ``"<field>"`` key in **each** preset of the
+  ``PRESET_FIELDS`` table (riding a dataclass default is exactly the
+  silent drift this rule exists to stop),
+* a ``--<field-with-dashes>`` flag *and* a ``"<field>"`` wiring string
+  in the sibling ``cli.py``,
+* a ``RunConfig.from_dict`` validation call in the sibling ``report.py``
+  (generic: the bench-record schema follows the dataclass).
+
+Surfaces whose file is not part of the lint run are skipped, so partial
+runs and fixtures stay usable; on the full tree every surface is live.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Optional, Tuple
+
+from ..engine import FileContext, Finding, Project, Rule, register
+
+_CLASS = "RunConfig"
+_TABLE = "PRESET_FIELDS"
+
+
+def _is_classvar(annotation: ast.AST) -> bool:
+    node = annotation
+    if isinstance(node, ast.Subscript):
+        node = node.value
+    if isinstance(node, ast.Attribute):
+        return node.attr == "ClassVar"
+    return isinstance(node, ast.Name) and node.id == "ClassVar"
+
+
+def _find_runconfig(project: Project
+                    ) -> Tuple[Optional[FileContext],
+                               Optional[ast.ClassDef]]:
+    for ctx in sorted(project.files, key=lambda c: c.relpath):
+        if ctx.relpath.split("/")[-1] != "config.py" or ctx.tree is None:
+            continue
+        for node in ctx.tree.body:
+            if isinstance(node, ast.ClassDef) and node.name == _CLASS:
+                return ctx, node
+    return None, None
+
+
+def _dataclass_fields(cls: ast.ClassDef) -> List[Tuple[str, int]]:
+    fields: List[Tuple[str, int]] = []
+    for node in cls.body:
+        if (isinstance(node, ast.AnnAssign)
+                and isinstance(node.target, ast.Name)
+                and not node.target.id.startswith("_")
+                and not _is_classvar(node.annotation)):
+            fields.append((node.target.id, node.lineno))
+    return fields
+
+
+def _method(cls: ast.ClassDef, name: str) -> Optional[ast.AST]:
+    for node in cls.body:
+        if (isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and node.name == name):
+            return node
+    return None
+
+
+def _self_attrs(func: ast.AST) -> set:
+    return {n.attr for n in ast.walk(func)
+            if isinstance(n, ast.Attribute)
+            and isinstance(n.value, ast.Name) and n.value.id == "self"}
+
+
+def _string_constants(node: ast.AST) -> set:
+    return {n.value for n in ast.walk(node)
+            if isinstance(n, ast.Constant) and isinstance(n.value, str)}
+
+
+def _calls_any(func: ast.AST, names: set) -> bool:
+    for node in ast.walk(func):
+        if not isinstance(node, ast.Call):
+            continue
+        f = node.func
+        if isinstance(f, ast.Name) and f.id in names:
+            return True
+        if isinstance(f, ast.Attribute) and f.attr in names:
+            return True
+    return False
+
+
+def _preset_table(cls: ast.ClassDef) -> Optional[ast.AST]:
+    for node in cls.body:
+        target = None
+        if isinstance(node, ast.AnnAssign):
+            target = node.target
+        elif isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+        if (isinstance(target, ast.Name) and target.id == _TABLE
+                and isinstance(getattr(node, "value", None), ast.Dict)):
+            return node.value
+    return None
+
+
+def _preset_entries(table: ast.Dict
+                    ) -> Iterable[Tuple[str, ast.Dict]]:
+    for key, value in zip(table.keys, table.values):
+        if (isinstance(key, ast.Constant) and isinstance(key.value, str)
+                and isinstance(value, ast.Dict)):
+            yield key.value, value
+
+
+def _docstring_entries(cls: ast.ClassDef) -> set:
+    doc = ast.get_docstring(cls) or ""
+    return {line.strip().rstrip(":") for line in doc.splitlines()
+            if line.strip().endswith(":")}
+
+
+def _check(project: Project) -> Iterable[Finding]:
+    ctx, cls = _find_runconfig(project)
+    if ctx is None or cls is None:
+        return []
+    findings: List[Finding] = []
+    fields = _dataclass_fields(cls)
+    here = ctx.relpath
+
+    post_init = _method(cls, "__post_init__")
+    validated = _self_attrs(post_init) if post_init is not None else None
+    if post_init is None:
+        findings.append(Finding(
+            here, cls.lineno, "RL007",
+            f"{_CLASS} has no __post_init__: every field must be "
+            f"validated at construction"))
+
+    doc_entries = _docstring_entries(cls)
+
+    to_dict = _method(cls, "to_dict")
+    to_dict_generic = (to_dict is not None
+                       and _calls_any(to_dict, {"asdict"}))
+    from_dict = _method(cls, "from_dict")
+    from_dict_generic = (from_dict is not None
+                         and _calls_any(from_dict,
+                                        {"field_names", "fields"}))
+    for name, missing in (("to_dict", to_dict), ("from_dict", from_dict)):
+        if missing is None:
+            findings.append(Finding(
+                here, cls.lineno, "RL007",
+                f"{_CLASS} has no {name}(): the JSON round-trip surface "
+                f"is part of the config contract"))
+
+    table = _preset_table(cls)
+    presets = list(_preset_entries(table)) if table is not None else []
+    if table is None:
+        findings.append(Finding(
+            here, cls.lineno, "RL007",
+            f"{_CLASS} has no {_TABLE} table: presets must name every "
+            f"field explicitly so new fields cannot silently ride "
+            f"dataclass defaults"))
+    field_names = {name for name, _ in fields}
+    for preset_name, entry in presets:
+        entry_keys = {k.value for k in entry.keys
+                      if isinstance(k, ast.Constant)
+                      and isinstance(k.value, str)}
+        for extra in sorted(entry_keys - field_names):
+            findings.append(Finding(
+                here, entry.lineno, "RL007",
+                f"preset {preset_name!r} names {extra!r}, which is not "
+                f"a {_CLASS} field"))
+
+    # sibling-surface files (skipped when absent from this run)
+    pkg_dir = here.rsplit("/", 1)[0] if "/" in here else ""
+    cli_ctx = project.by_path.get(
+        f"{pkg_dir}/cli.py" if pkg_dir else "cli.py")
+    cli_strings = (_string_constants(cli_ctx.tree)
+                   if cli_ctx is not None and cli_ctx.tree is not None
+                   else None)
+    report_ctx = project.by_path.get(
+        f"{pkg_dir}/report.py" if pkg_dir else "report.py")
+    if report_ctx is not None and report_ctx.tree is not None:
+        validates = any(
+            isinstance(n, ast.Call)
+            and isinstance(n.func, ast.Attribute)
+            and n.func.attr == "from_dict"
+            and isinstance(n.func.value, ast.Name)
+            and n.func.value.id == _CLASS
+            for n in ast.walk(report_ctx.tree))
+        if not validates:
+            findings.append(Finding(
+                report_ctx.relpath, 1, "RL007",
+                f"report.py never validates bench-record run_config "
+                f"via {_CLASS}.from_dict: BENCH_*.json records could "
+                f"carry configs the library cannot parse back"))
+
+    for name, lineno in fields:
+        if validated is not None and name not in validated:
+            findings.append(Finding(
+                here, lineno, "RL007",
+                f"field {name!r} is never touched in __post_init__: "
+                f"every field is validated at construction"))
+        if name not in doc_entries:
+            findings.append(Finding(
+                here, lineno, "RL007",
+                f"field {name!r} missing from the {_CLASS} docstring's "
+                f"field catalogue (a '{name}:' entry)"))
+        if (to_dict is not None and not to_dict_generic
+                and name not in _string_constants(to_dict)):
+            findings.append(Finding(
+                here, lineno, "RL007",
+                f"field {name!r} not covered by to_dict(): the JSON "
+                f"round-trip would silently drop it"))
+        if (from_dict is not None and not from_dict_generic
+                and name not in _string_constants(from_dict)):
+            findings.append(Finding(
+                here, lineno, "RL007",
+                f"field {name!r} not covered by from_dict(): "
+                f"round-tripped configs would lose it"))
+        for preset_name, entry in presets:
+            entry_keys = {k.value for k in entry.keys
+                          if isinstance(k, ast.Constant)}
+            if name not in entry_keys:
+                findings.append(Finding(
+                    here, entry.lineno, "RL007",
+                    f"field {name!r} missing from preset "
+                    f"{preset_name!r} in {_TABLE}: every preset names "
+                    f"every field explicitly"))
+        if cli_strings is not None:
+            flag = "--" + name.replace("_", "-")
+            if flag not in cli_strings:
+                findings.append(Finding(
+                    cli_ctx.relpath, 1, "RL007",
+                    f"no {flag} flag in cli.py: {_CLASS} field "
+                    f"{name!r} cannot be set from the command line"))
+            elif name not in cli_strings:
+                findings.append(Finding(
+                    cli_ctx.relpath, 1, "RL007",
+                    f"{flag} exists but {name!r} never appears as a "
+                    f"wiring string in cli.py: the flag's value is "
+                    f"not threaded into the config overrides"))
+    return findings
+
+
+register(Rule(
+    code="RL007", name="config-coherence",
+    summary="Every RunConfig field must appear on every config surface.",
+    explain="""\
+Locates the RunConfig dataclass (class `RunConfig` in a config.py),
+reads its fields from the annotated assignments (ClassVar excluded),
+and requires each field to appear on every surface of the config
+contract:
+
+* validated in `__post_init__` (a `self.<field>` use),
+* documented in the class docstring's field catalogue (`<field>:`),
+* covered by `to_dict`/`from_dict` — generic implementations via
+  `dataclasses.asdict` / `field_names()` cover everything at once,
+* named explicitly in **each** preset of the `PRESET_FIELDS` table
+  (presets must not ride dataclass defaults: that is how a new field
+  silently diverges between presets),
+* exposed in the sibling cli.py as a `--field-with-dashes` flag whose
+  field name also appears as a wiring string,
+* validated in the sibling report.py via `RunConfig.from_dict` (the
+  BENCH_*.json record schema).
+
+Preset keys that are not fields, and a missing table/method, are also
+findings.  Surfaces whose file is absent from the lint run are skipped,
+so fixture/partial runs work; the repo gate lints the full tree.""",
+    project_check=_check))
